@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``test_bench_fig*.py`` module regenerates one figure of the
+paper's evaluation and prints its series (run with ``-s`` to see them);
+the pytest-benchmark timings measure the cost of the regeneration
+itself.  Figure benches run at a reduced Monte-Carlo fidelity so the
+whole harness completes in minutes; pass ``--paper-fidelity`` to use
+the paper's full 500x500 budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import SimSettings
+from repro.sim.montecarlo import PAPER, Fidelity
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-fidelity",
+        action="store_true",
+        default=False,
+        help="run figure benches at the paper's 500 runs x 500 patterns",
+    )
+
+
+@pytest.fixture(scope="session")
+def sim_settings(request) -> SimSettings:
+    """Monte-Carlo budget for the figure benches."""
+    if request.config.getoption("--paper-fidelity"):
+        return SimSettings(fidelity=PAPER, seed=20160913)
+    return SimSettings(fidelity=Fidelity(n_runs=30, n_patterns=60), seed=20160913)
+
+
+def emit(results) -> None:
+    """Print regenerated figure tables (visible with pytest -s)."""
+    for result in results:
+        print()
+        print(result.table())

@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the analytical hot paths.
+
+The figure sweeps evaluate Proposition 1 on large (T, P) grids; these
+benches track the scalar call cost and the vectorised throughput that
+the hpc-parallel optimisation guide's "vectorise the bottleneck" rule
+bought us.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import expected_pattern_time, optimal_pattern, optimal_period
+from repro.platforms import build_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("Hera", 1)
+
+
+def test_expected_time_scalar(benchmark, model):
+    value = benchmark(lambda: expected_pattern_time(6000.0, 256.0, model.errors, model.costs))
+    assert value > 6000.0
+
+
+def test_expected_time_grid_100x100(benchmark, model):
+    T = np.logspace(2, 5, 100)
+    P = np.logspace(1, 4, 100)[:, None]
+
+    def run():
+        return expected_pattern_time(T, P, model.errors, model.costs)
+
+    out = benchmark(run)
+    assert out.shape == (100, 100)
+
+
+def test_theorem1_vectorised(benchmark, model):
+    P = np.logspace(1, 4, 1000)
+    out = benchmark(lambda: optimal_period(P, model.errors, model.costs))
+    assert out.shape == (1000,)
+
+
+def test_closed_form_solution(benchmark, model):
+    sol = benchmark(lambda: optimal_pattern(model))
+    assert sol.processors > 0

@@ -1,0 +1,71 @@
+"""Extension bench: interleaved verifications (k segments per checkpoint).
+
+Prints the overhead as a function of the segment count k on each SCR
+platform (scenario 3, where the checkpoint is expensive and constant),
+next to the first-order k* — showing when the paper's single
+verification (k = 1) leaves measurable performance on the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions.twolevel import (
+    optimal_segment_count,
+    optimize_segments,
+    segmented_overhead,
+    segmented_period,
+)
+from repro.io.tables import render_table
+from repro.optimize import optimize_allocation
+from repro.platforms import PLATFORM_NAMES, build_model
+
+
+@pytest.mark.parametrize("platform", PLATFORM_NAMES)
+def test_segment_sweep(benchmark, platform):
+    model = build_model(platform, 3)
+    P = optimize_allocation(model).processors
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 4, 8, 16):
+            T = segmented_period(P, k, model.errors, model.costs)
+            rows.append((k, round(T, 1), float(segmented_overhead(T, P, k, model))))
+        return rows
+
+    rows = benchmark(sweep)
+    k_star = optimal_segment_count(P, model.errors, model.costs)
+    best = optimize_segments(model, P)
+    print()
+    print(
+        render_table(
+            ("k", "T*_k (s)", "overhead"),
+            rows,
+            title=(
+                f"{platform} scenario 3 at P={P:.0f}: overhead vs segment count "
+                f"(first-order k* = {k_star:.2f}, numerical best k = {best.segments:.0f})"
+            ),
+        )
+    )
+    # The numerical best never loses to the single-verification pattern.
+    h_k1 = [h for (k, _, h) in rows if k == 1][0]
+    assert best.overhead <= h_k1 * (1 + 1e-12)
+
+
+def test_joint_optimum_with_segments(benchmark):
+    # How much does interleaving buy at the jointly optimal allocation?
+    model = build_model("Atlas", 3)  # 94% silent: the best case for k > 1
+    base = optimize_allocation(model)
+
+    def run():
+        return optimize_segments(model, base.processors)
+
+    best = benchmark(run)
+    gain = (base.overhead - best.overhead) / base.overhead
+    print(
+        f"\nAtlas sc3 @ P={base.processors:.0f}: k=1 overhead {base.overhead:.5f} "
+        f"-> k={best.segments:.0f} overhead {best.overhead:.5f} "
+        f"({gain:.2%} improvement)"
+    )
+    assert best.segments > 1
+    assert gain > 0.0

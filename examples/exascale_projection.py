@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Exascale projection: the intro's thought experiment, quantified.
+
+The paper opens with: "a machine with 100,000 one-century-MTBF nodes
+fails every 9 hours."  This example builds that hypothetical machine,
+sweeps node counts from 10k to 10M, and shows how the achievable
+overhead saturates — Amdahl's asymptote is unreachable on failure-prone
+hardware, and past P* extra nodes actively hurt.
+
+Run:  python examples/exascale_projection.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AmdahlSpeedup,
+    CheckpointCost,
+    ErrorModel,
+    PatternModel,
+    ResilienceCosts,
+    VerificationCost,
+    optimal_pattern,
+)
+from repro.io.tables import render_table
+from repro.optimize import optimize_allocation, optimize_period
+from repro.units import format_duration, format_si, years
+
+# The intro's machine: one-century MTBF per node, 20% fail-stop errors
+# (the Hera-like mix), in-memory checkpoints of a 1 TB/node footprint
+# over a fat network, plus a per-node coordination cost.
+ERRORS = ErrorModel.from_mtbf(years(100), fail_stop_fraction=0.2)
+COSTS = ResilienceCosts(
+    checkpoint=CheckpointCost(a=30.0, c=0.002),  # 30s latency + 2ms/node sync
+    verification=VerificationCost(v=10.0),
+    downtime=600.0,
+)
+ALPHA = 1e-5  # heroic scaling: 0.001% sequential
+
+
+def main() -> None:
+    model = PatternModel(errors=ERRORS, costs=COSTS, speedup=AmdahlSpeedup(ALPHA))
+
+    print("Machine: mu_ind = 100 years, f = 0.2, C_P = 30 + 0.002 P, "
+          f"V = 10s, D = 10 min, alpha = {ALPHA}\n")
+
+    # Platform MTBF at the intro's scale.
+    P0 = 100_000.0
+    mtbf = model.errors.platform_mtbf(P0)
+    print(f"Platform MTBF at P = 100k nodes: {format_duration(mtbf)} "
+          "(the intro's 'failure every ~9 hours')\n")
+
+    rows = []
+    for P in np.logspace(4, 7, 7):
+        inner = optimize_period(model, float(P))
+        rows.append(
+            (
+                format_si(P),
+                format_duration(model.errors.platform_mtbf(P)),
+                format_duration(inner.period),
+                round(inner.overhead * 1e5, 3),
+                round(1.0 / inner.overhead, 0),
+            )
+        )
+    print(
+        render_table(
+            ("nodes", "platform MTBF", "best period", "overhead (x1e-5)", "speedup"),
+            rows,
+            title="Best achievable execution vs machine size",
+        )
+    )
+
+    best = optimize_allocation(model)
+    closed = optimal_pattern(model)
+    print(
+        f"\nJoint optimum: P* = {format_si(best.processors)} nodes, "
+        f"T* = {format_duration(best.period)}, speedup {1/best.overhead:,.0f}"
+    )
+    print(
+        f"Closed form (Theorem 2): P* = {format_si(closed.processors)}, "
+        f"T* = {format_duration(closed.period)}"
+    )
+    print(
+        f"Amdahl's error-free ceiling at alpha = {ALPHA}: speedup "
+        f"{1/ALPHA:,.0f} — failures keep us at "
+        f"{(1/best.overhead) / (1/ALPHA):.0%} of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scaling study: watch Amdahl meet Young/Daly.
+
+Reproduces the paper's headline asymptotics interactively: sweep the
+per-processor error rate from exascale-pessimistic (1e-8/s, MTBF ~2
+years) to ultra-reliable (1e-12/s, MTBF ~30k years) and print how the
+optimal allocation, period, and overhead move — including the fitted
+power-law orders that Theorems 2 and 3 predict:
+
+* linear checkpoint cost:   P* ~ lambda^-1/4,  T* ~ lambda^-1/2
+* constant checkpoint cost: P* ~ lambda^-1/3,  T* ~ lambda^-1/3
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro import build_model, optimal_pattern, optimize_allocation
+from repro.analysis.asymptotics import fit_loglog_slope
+from repro.io.tables import render_table
+
+LAMBDAS = np.logspace(-12, -8, 9)
+SCENARIOS = {1: "C_P = cP (Theorem 2)", 3: "C_P = a (Theorem 3)"}
+
+
+def main() -> None:
+    for scenario_id, label in SCENARIOS.items():
+        rows = []
+        P_closed, P_num, T_num, H_num = [], [], [], []
+        for lam in LAMBDAS:
+            model = build_model("Hera", scenario_id, lambda_ind=float(lam))
+            closed = optimal_pattern(model)
+            num = optimize_allocation(model)
+            P_closed.append(closed.processors)
+            P_num.append(num.processors)
+            T_num.append(num.period)
+            H_num.append(num.overhead)
+            rows.append(
+                (
+                    f"{lam:.1e}",
+                    round(closed.processors, 1),
+                    round(num.processors, 1),
+                    round(closed.period, 1),
+                    round(num.period, 1),
+                    round(num.overhead, 5),
+                )
+            )
+        print(
+            render_table(
+                ("lambda_ind", "P* closed", "P* numeric", "T* closed", "T* numeric", "H numeric"),
+                rows,
+                title=f"Scenario {scenario_id}: {label}",
+            )
+        )
+        p_fit = fit_loglog_slope(LAMBDAS, np.array(P_num))
+        t_fit = fit_loglog_slope(LAMBDAS, np.array(T_num))
+        print(
+            f"  fitted orders: P* ~ lambda^{p_fit.slope:+.3f} "
+            f"(r^2={p_fit.r_squared:.5f}), T* ~ lambda^{t_fit.slope:+.3f}"
+        )
+        expected = (-0.25, -0.5) if scenario_id == 1 else (-1 / 3, -1 / 3)
+        print(f"  theory:        P* ~ lambda^{expected[0]:+.3f}, "
+              f"T* ~ lambda^{expected[1]:+.3f}\n")
+
+
+if __name__ == "__main__":
+    main()

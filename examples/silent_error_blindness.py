@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""What does ignoring silent errors cost?
+
+The classical Young/Daly practice sizes the checkpoint period from the
+*fail-stop* MTBF alone.  But on the SCR platforms 78-94% of errors are
+silent (Table II).  This example sizes a run both ways — naive
+(fail-stop-only formulas) and informed (the paper's two-source
+Theorems) — then evaluates both deployments under the true error mix.
+
+Run:  python examples/silent_error_blindness.py
+"""
+
+from repro import build_model, optimal_pattern
+from repro.baselines import price_of_ignoring_silent
+from repro.io.tables import render_table
+from repro.platforms import PLATFORM_NAMES
+
+
+def main() -> None:
+    rows = []
+    for platform in PLATFORM_NAMES:
+        model = build_model(platform, scenario_id=1)
+        informed = optimal_pattern(model)
+        deployment = price_of_ignoring_silent(model)
+        naive = deployment.naive_solution
+        rows.append(
+            (
+                platform,
+                f"{model.errors.s:.0%}",
+                round(naive.processors, 1),
+                round(informed.processors, 1),
+                round(naive.period, 0),
+                round(informed.period, 0),
+                round(deployment.true_overhead, 4),
+                round(deployment.optimal_overhead, 4),
+                f"{(deployment.penalty - 1) * 100:.2f}%",
+            )
+        )
+    print(
+        render_table(
+            (
+                "platform",
+                "silent",
+                "P naive",
+                "P informed",
+                "T naive",
+                "T informed",
+                "H naive",
+                "H informed",
+                "penalty",
+            ),
+            rows,
+            title="The price of sizing checkpoints while ignoring silent errors "
+            "(scenario 1, alpha = 0.1)",
+        )
+    )
+    print(
+        "\nReading: the naive run still detects silent errors (the protocol "
+        "verifies),\nbut checkpoints too rarely and enrolls too many "
+        "processors, paying the penalty\nin extra re-executed work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A tour of the discrete-event simulator: where does the time go?
+
+Runs the event-driven reference simulator at three checkpoint periods —
+too short, optimal, too long — and prints the full activity breakdown
+(useful work, wasted work, verification, checkpointing, recovery,
+downtime, time destroyed by fail-stop errors), illustrating *why* the
+Young/Daly trade-off exists:
+
+* short periods waste time on checkpoint overheads;
+* long periods waste time on re-executed work after errors.
+
+Run:  python examples/simulator_tour.py
+"""
+
+from repro import build_model, optimize_allocation
+from repro.io.tables import render_table
+from repro.sim import simulate_run, spawn_rngs
+
+
+def breakdown_row(label, T, P, model, n_patterns=300, seed=7):
+    [rng] = spawn_rngs(1, seed=seed)
+    stats = simulate_run(model, T, P, n_patterns, rng)
+    b = stats.breakdown
+    total = stats.total_time
+
+    def pct(x):
+        return f"{100 * x / total:5.2f}%"
+
+    overhead = total / (n_patterns * T * model.speedup.speedup(P))
+    return (
+        label,
+        round(T, 0),
+        pct(b.useful_work),
+        pct(b.wasted_work + b.lost),
+        pct(b.verification),
+        pct(b.checkpoint),
+        pct(b.recovery + b.downtime),
+        stats.n_fail_stop,
+        stats.n_silent_detected,
+        round(overhead, 4),
+    )
+
+
+def main() -> None:
+    model = build_model("Hera", scenario_id=1)
+    best = optimize_allocation(model)
+    P = best.processors
+    print(
+        f"Platform Hera, scenario 1, P = {P:.0f} processors "
+        f"(numerical optimum), 300 patterns per run\n"
+    )
+    rows = [
+        breakdown_row("10x too short", best.period / 10, P, model),
+        breakdown_row("optimal", best.period, P, model),
+        breakdown_row("10x too long", best.period * 10, P, model),
+    ]
+    print(
+        render_table(
+            (
+                "period",
+                "T (s)",
+                "useful",
+                "wasted",
+                "verify",
+                "ckpt",
+                "recov+down",
+                "#fail-stop",
+                "#silent",
+                "overhead",
+            ),
+            rows,
+            title="Activity breakdown vs checkpointing period (event-driven simulator)",
+        )
+    )
+    print(
+        "\nReading: at T*/10 the run drowns in checkpoints; at 10 T* errors "
+        "destroy\nwhole patterns; the optimum balances the two — exactly the "
+        "sqrt trade-off\nbehind Theorem 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

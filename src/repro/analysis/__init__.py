@@ -1,0 +1,30 @@
+"""Post-processing analytics: asymptotic slope fits and sensitivity."""
+
+from .asymptotics import SlopeFit, estimate_order, fit_loglog_slope, reference_power_law
+from .sensitivity import (
+    RobustnessCurve,
+    first_order_gap,
+    period_robustness,
+    processor_robustness,
+)
+from .waste import (
+    WasteBreakdown,
+    compare_with_simulation,
+    simulated_waste,
+    waste_breakdown,
+)
+
+__all__ = [
+    "SlopeFit",
+    "fit_loglog_slope",
+    "estimate_order",
+    "reference_power_law",
+    "RobustnessCurve",
+    "period_robustness",
+    "processor_robustness",
+    "first_order_gap",
+    "WasteBreakdown",
+    "waste_breakdown",
+    "simulated_waste",
+    "compare_with_simulation",
+]

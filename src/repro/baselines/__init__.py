@@ -1,0 +1,19 @@
+"""Baseline models the paper compares against or extends."""
+
+from .error_free import ErrorFreeModel
+from .failstop_only import (
+    NaiveDeployment,
+    failstop_optimal_period,
+    failstop_projection,
+    naive_pattern,
+    price_of_ignoring_silent,
+)
+
+__all__ = [
+    "ErrorFreeModel",
+    "failstop_projection",
+    "failstop_optimal_period",
+    "naive_pattern",
+    "price_of_ignoring_silent",
+    "NaiveDeployment",
+]

@@ -1,0 +1,42 @@
+"""Error-free execution baseline.
+
+In a failure-free world the overhead of an Amdahl job is exactly
+``H(P)`` and is strictly decreasing in ``P`` — "enroll as many
+processors as possible", as the paper's introduction puts it.  This
+trivial model is the floor every resilient execution is compared
+against, and the contrast object for the paper's headline message (on
+failure-prone platforms a finite ``P*`` exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.speedup import SpeedupModel
+from ..exceptions import InvalidParameterError
+
+__all__ = ["ErrorFreeModel"]
+
+
+@dataclass(frozen=True)
+class ErrorFreeModel:
+    """Failure-free execution of an application with a given speedup profile."""
+
+    speedup: SpeedupModel
+
+    def overhead(self, P):
+        """Execution overhead ``H(P)`` — no resilience, no failures."""
+        return self.speedup.overhead(P)
+
+    def makespan(self, total_work: float, P):
+        """Error-free makespan ``H(P) * W_total``."""
+        if total_work <= 0.0:
+            raise InvalidParameterError(f"total work must be positive, got {total_work!r}")
+        return np.asarray(self.speedup.overhead(P)) * total_work if np.ndim(P) \
+            else self.speedup.overhead(P) * total_work
+
+    def optimal_processors(self) -> float:
+        """Always infinity: more processors never hurt without failures."""
+        return float("inf")

@@ -1,0 +1,112 @@
+"""Application-level makespan projection and scaling helpers.
+
+Section II of the paper links pattern-level overhead to application
+makespan: a long-lasting job of total sequential work ``W_total`` split
+into patterns of work :math:`T\\,S(P)` has expected makespan
+
+.. math::
+
+    E(W_{final}) \\approx H(T, P)\\, W_{total}.
+
+This module packages that projection plus weak-scaling helpers for the
+paper's "weak vs. strong scalability" future-work direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+from ..units import format_duration
+from .pattern import PatternModel
+
+__all__ = ["ApplicationSpec", "MakespanReport", "project_makespan", "weak_scaled_work"]
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """A long-running application characterised by its sequential work.
+
+    Parameters
+    ----------
+    total_work:
+        Total sequential execution time ``W_total`` in seconds (the time
+        the job would take on one error-free processor).
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    total_work: float
+    name: str = "application"
+
+    def __post_init__(self) -> None:
+        if self.total_work <= 0.0:
+            raise InvalidParameterError(
+                f"total work must be positive, got {self.total_work!r}"
+            )
+
+
+@dataclass(frozen=True)
+class MakespanReport:
+    """Projection of an application run with a given pattern."""
+
+    spec: ApplicationSpec
+    processors: float
+    period: float
+    expected_makespan: float
+    error_free_makespan: float
+    pattern_count: float
+    overhead: float
+
+    @property
+    def resilience_penalty(self) -> float:
+        """Slowdown factor vs. the error-free run on the same ``P``."""
+        return self.expected_makespan / self.error_free_makespan
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.spec.name}: W_total = {format_duration(self.spec.total_work)} "
+            f"on P = {self.processors:g} with T = {format_duration(self.period)}; "
+            f"expected makespan {format_duration(self.expected_makespan)} "
+            f"({self.pattern_count:.0f} patterns, overhead {self.overhead:.4f}, "
+            f"x{self.resilience_penalty:.3f} vs error-free)"
+        )
+
+
+def project_makespan(
+    model: PatternModel, spec: ApplicationSpec, T: float, P: float
+) -> MakespanReport:
+    """Project the expected makespan of ``spec`` under pattern ``(T, P)``."""
+    overhead = model.overhead(T, P)
+    expected = overhead * spec.total_work
+    error_free = model.error_free_overhead(P) * spec.total_work
+    patterns = model.pattern_count(spec.total_work, T, P)
+    return MakespanReport(
+        spec=spec,
+        processors=P,
+        period=T,
+        expected_makespan=float(expected),
+        error_free_makespan=float(error_free),
+        pattern_count=float(patterns),
+        overhead=float(overhead),
+    )
+
+
+def weak_scaled_work(base_work: float, P: float, alpha: float) -> float:
+    """Gustafson-style weak scaling of the total work with the machine.
+
+    The sequential part stays fixed while the parallel part grows
+    proportionally to ``P``:
+
+    .. math:: W(P) = W_{base}\\,(\\alpha + (1 - \\alpha) P).
+
+    Returns the scaled sequential-equivalent work ``W(P)``.
+    """
+    if base_work <= 0.0:
+        raise InvalidParameterError(f"base work must be positive, got {base_work!r}")
+    if not 0.0 <= alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must be in [0, 1], got {alpha!r}")
+    if P <= 0.0:
+        raise InvalidParameterError(f"P must be positive, got {P!r}")
+    return base_work * (alpha + (1.0 - alpha) * P)

@@ -1,0 +1,362 @@
+"""Exact expected execution time of a periodic checkpointing pattern.
+
+This module implements **Proposition 1** of the paper, which is its core
+analytical result: for a pattern ``PATTERN(T, P)`` (work ``T``, then
+verification ``V_P``, then checkpoint ``C_P``) under fail-stop errors of
+rate :math:`\\lambda^f_P` (striking anywhere except downtime) and silent
+errors of rate :math:`\\lambda^s_P` (striking only computation),
+
+.. math::
+
+    E(T, P) = \\Big(\\frac{1}{\\lambda^f_P} + D\\Big)
+        \\Big( e^{\\lambda^f_P C_P}\\,(1 - e^{\\lambda^s_P T})
+            + e^{\\lambda^f_P R_P}\\,
+              \\big(e^{\\lambda^f_P (C_P + T + V_P) + \\lambda^s_P T} - 1\\big)
+        \\Big).
+
+The proof decomposes :math:`E = E(T + V_P) + E(C_P)` with
+
+.. math::
+
+    E(R_P)     &= (1/\\lambda^f + D)(e^{\\lambda^f R} - 1), \\\\
+    E(C_P)     &= (e^{\\lambda^f C} - 1)(1/\\lambda^f + D + E(R) + E(T+V)), \\\\
+    E(T + V_P) &= e^{\\lambda^s T}(e^{\\lambda^f (T+V)} - 1)(1/\\lambda^f + D)
+                  + (e^{\\lambda^f (T+V) + \\lambda^s T} - 1) E(R),
+
+all of which are exposed here because the Monte-Carlo simulators validate
+against them component by component.  (The published text of the paper
+renders the :math:`E(T+V_P)` intermediate with a stray
+:math:`e^{\\lambda^s(T+V)}(T+V)` term; re-deriving the recurrence — done in
+``tests/test_pattern.py`` symbolically and numerically — confirms the two-term
+form above, which is the one consistent with the final Eq. (2).)
+
+Every function is vectorised: ``T`` and ``P`` may be scalars or numpy
+arrays (broadcast together), which is how the figure sweeps evaluate
+whole parameter grids in one call.  The fail-stop-free case
+(:math:`\\lambda^f = 0`) is handled through its exact limit
+
+.. math::
+
+    E = C - R + e^{\\lambda^s T} (R + T + V),
+
+avoiding the ``inf * 0`` indeterminacy of the general formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .costs import ResilienceCosts
+from .errors import ErrorModel
+from .speedup import AmdahlSpeedup, SpeedupModel
+
+__all__ = [
+    "expected_pattern_time",
+    "expected_recovery_time",
+    "expected_checkpoint_time",
+    "expected_work_time",
+    "expected_pattern_time_first_order",
+    "pattern_overhead",
+    "pattern_speedup",
+    "PatternModel",
+]
+
+
+def _validate_period(T) -> None:
+    arr = np.asarray(T, dtype=float)
+    if np.any(arr < 0.0) or not np.all(np.isfinite(arr)):
+        raise InvalidParameterError(f"pattern period T must be finite and >= 0, got {T!r}")
+
+
+def _rates_and_costs(T, P, errors: ErrorModel, costs: ResilienceCosts):
+    """Broadcast-compatible platform rates and resilience costs."""
+    _validate_period(T)
+    T = np.asarray(T, dtype=float) if (np.ndim(T) or np.ndim(P)) else float(T)
+    lam_f = errors.fail_stop_rate(P)
+    lam_s = errors.silent_rate(P)
+    C = costs.checkpoint_cost(P)
+    R = costs.recovery_cost(P)
+    V = costs.verification_cost(P)
+    return T, lam_f, lam_s, C, R, V, costs.downtime
+
+
+def _scalarize(x, *inputs):
+    """Collapse 0-d results back to Python floats when all inputs are scalars."""
+    if all(np.ndim(i) == 0 for i in inputs):
+        return float(x)
+    return np.asarray(x)
+
+
+def expected_recovery_time(P, errors: ErrorModel, costs: ResilienceCosts):
+    """Expected time to complete one recovery, :math:`E(R_P)`.
+
+    A recovery of cost ``R_P`` may itself be hit by fail-stop errors
+    (each retry paying the time lost plus the downtime ``D``):
+
+    .. math:: E(R_P) = (1/\\lambda^f_P + D)(e^{\\lambda^f_P R_P} - 1).
+    """
+    lam_f = errors.fail_stop_rate(P)
+    R = costs.recovery_cost(P)
+    D = costs.downtime
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        generic = (1.0 / np.asarray(lam_f, dtype=float) + D) * np.expm1(
+            np.asarray(lam_f) * np.asarray(R)
+        )
+    result = np.where(np.asarray(lam_f) > 0.0, generic, np.asarray(R, dtype=float))
+    return _scalarize(result, P, lam_f)
+
+
+def expected_work_time(T, P, errors: ErrorModel, costs: ResilienceCosts):
+    """Expected time to complete the work + verification segment, E(T + V_P).
+
+    Both error sources can force re-execution: fail-stop errors interrupt
+    anywhere in ``T + V_P``; silent errors (struck during ``T`` only) are
+    caught by the verification and trigger a recovery plus re-execution.
+    """
+    T, lam_f, lam_s, C, R, V, D = _rates_and_costs(T, P, errors, costs)
+    A = T + V
+    ER = expected_recovery_time(P, errors, costs)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        generic = np.exp(lam_s * T) * np.expm1(lam_f * A) * (1.0 / np.asarray(lam_f) + D) + np.expm1(
+            lam_f * A + lam_s * T
+        ) * np.asarray(ER)
+        # lambda_f == 0 limit: every attempt of A survives fail-stop errors;
+        # silent errors force a geometric number of (A + R) re-executions.
+        silent_only = np.exp(lam_s * T) * A + np.expm1(lam_s * T) * np.asarray(R)
+    result = np.where(np.asarray(lam_f) > 0.0, generic, silent_only)
+    result = np.where(np.isnan(result), np.inf, result)
+    return _scalarize(result, T, P, lam_f)
+
+
+def expected_checkpoint_time(T, P, errors: ErrorModel, costs: ResilienceCosts):
+    """Expected time to store the checkpoint at the end of a pattern, E(C_P).
+
+    A fail-stop error during checkpointing costs the lost time, the
+    downtime, a recovery and a *full pattern re-execution* before the
+    checkpoint can be retried — hence the dependence on ``T``.
+    """
+    T, lam_f, lam_s, C, R, V, D = _rates_and_costs(T, P, errors, costs)
+    ER = expected_recovery_time(P, errors, costs)
+    EA = expected_work_time(T, P, errors, costs)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        generic = np.expm1(lam_f * C) * (
+            1.0 / np.asarray(lam_f) + D + np.asarray(ER) + np.asarray(EA)
+        )
+    result = np.where(np.asarray(lam_f) > 0.0, generic, np.asarray(C, dtype=float))
+    # 0 * inf (free checkpoint but overflowed work expectation) is 0: a
+    # cost-free segment completes instantly regardless.
+    zero_cost = np.asarray(C, dtype=float) == 0.0
+    result = np.where(np.isnan(result) & zero_cost, 0.0, result)
+    result = np.where(np.isnan(result), np.inf, result)
+    return _scalarize(result, T, P, lam_f)
+
+
+def expected_pattern_time(T, P, errors: ErrorModel, costs: ResilienceCosts):
+    """Exact expected execution time of PATTERN(T, P) — Proposition 1, Eq. (2).
+
+    Parameters
+    ----------
+    T:
+        Pattern length (useful computation time per checkpoint), seconds.
+        Scalar or array.
+    P:
+        Number of processors.  Scalar or array (broadcast with ``T``).
+    errors:
+        Platform error model (individual rate + fail-stop fraction).
+    costs:
+        Resilience costs :math:`C_P, R_P, V_P, D`.
+
+    Returns
+    -------
+    float or ndarray
+        :math:`E(T, P)` in seconds.
+
+    Notes
+    -----
+    The implementation evaluates Eq. (2) in the ``expm1`` form
+
+    .. math::
+
+        E = (1/\\lambda^f + D)\\big(
+              e^{\\lambda^f R}\\,\\mathrm{expm1}(\\lambda^f(C+T+V) + \\lambda^s T)
+            - e^{\\lambda^f C}\\,\\mathrm{expm1}(\\lambda^s T)\\big)
+
+    which keeps full precision for rates down to ``1e-300``.
+    """
+    T, lam_f, lam_s, C, R, V, D = _rates_and_costs(T, P, errors, costs)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        # Cancellation-free factoring of Eq. (2):
+        #   term = e^{lf R + ls T} expm1(lf (C+T+V))
+        #        + e^{lf C} expm1(ls T) expm1(lf (R - C))
+        # (algebraically identical; avoids subtracting two nearly equal
+        # exponentials when lf is many orders below ls).
+        term = np.exp(lam_f * R + lam_s * T) * np.expm1(lam_f * (C + T + V)) + np.exp(
+            lam_f * C
+        ) * np.expm1(lam_s * T) * np.expm1(lam_f * (R - C))
+        generic = (1.0 / np.asarray(lam_f) + D) * term
+        # Exact lambda_f -> 0 limit (silent errors only).
+        silent_only = C - R + np.exp(lam_s * T) * (R + T + V)
+    result = np.where(np.asarray(lam_f) > 0.0, generic, silent_only)
+    # When the exponentials overflow, products involving inf can read as
+    # NaN; the true expectation is beyond float range: report +inf.
+    result = np.where(np.isnan(result), np.inf, result)
+    return _scalarize(result, T, P)
+
+
+def expected_pattern_time_first_order(T, P, errors: ErrorModel, costs: ResilienceCosts):
+    """Second-order Taylor expansion of E(T, P) used in the proof of Theorem 1.
+
+    .. math::
+
+        E \\approx T + V + C
+            + (\\lambda^f/2 + \\lambda^s) T^2
+            + \\lambda^f T (V + C + R + D)
+            + \\lambda^s T (V + R)
+            + \\lambda^f C (C/2 + R + V + D)
+            + \\lambda^f V (V + R + D)
+
+    Valid when all of :math:`\\lambda^f_P (T + V + C + R)` and
+    :math:`\\lambda^s_P T` are :math:`\\ll 1` (Section III-B).
+    """
+    T, lam_f, lam_s, C, R, V, D = _rates_and_costs(T, P, errors, costs)
+    result = (
+        T
+        + V
+        + C
+        + (lam_f / 2.0 + lam_s) * T**2
+        + lam_f * T * (V + C + R + D)
+        + lam_s * T * (V + R)
+        + lam_f * C * (C / 2.0 + R + V + D)
+        + lam_f * V * (V + R + D)
+    )
+    return _scalarize(result, T, P)
+
+
+def pattern_overhead(T, P, errors: ErrorModel, costs: ResilienceCosts, speedup: SpeedupModel):
+    """Expected execution overhead :math:`H(T, P) = H(P) \\, E(T, P) / T`.
+
+    This is the paper's optimisation objective: the expected time per
+    unit of *sequential* work, whose error-free floor is ``H(P)``.
+    Requires ``T > 0``.
+    """
+    T_arr = np.asarray(T, dtype=float)
+    if np.any(T_arr <= 0.0):
+        raise InvalidParameterError(f"overhead needs T > 0, got {T!r}")
+    E = expected_pattern_time(T, P, errors, costs)
+    result = np.asarray(speedup.overhead(P)) * np.asarray(E) / T_arr
+    return _scalarize(result, T, P)
+
+
+def pattern_speedup(T, P, errors: ErrorModel, costs: ResilienceCosts, speedup: SpeedupModel):
+    """Expected speedup :math:`S(T, P) = T\\,S(P)/E(T, P) = 1/H(T, P)`."""
+    return 1.0 / pattern_overhead(T, P, errors, costs, speedup)
+
+
+@dataclass(frozen=True)
+class PatternModel:
+    """Bundle of error model, resilience costs and speedup profile.
+
+    This is the main user-facing object: it fixes the *platform and
+    application*, leaving the pattern parameters ``(T, P)`` free.  All
+    evaluators are thin wrappers over the module-level functions, and
+    the optimisers in :mod:`repro.optimize` and the closed forms in
+    :mod:`repro.core.first_order` consume it directly.
+
+    >>> from repro.core import ErrorModel, ResilienceCosts, AmdahlSpeedup
+    >>> model = PatternModel(
+    ...     errors=ErrorModel(lambda_ind=1e-8, fail_stop_fraction=0.25),
+    ...     costs=ResilienceCosts.simple(checkpoint=300.0, verification=15.0),
+    ...     speedup=AmdahlSpeedup(0.1),
+    ... )
+    >>> round(model.overhead(T=3600.0, P=1000), 4) > 0.1
+    True
+    """
+
+    errors: ErrorModel
+    costs: ResilienceCosts
+    speedup: SpeedupModel
+
+    # -- exact evaluators -------------------------------------------------
+
+    def expected_time(self, T, P):
+        """Exact :math:`E(T, P)` (Proposition 1)."""
+        return expected_pattern_time(T, P, self.errors, self.costs)
+
+    def expected_time_first_order(self, T, P):
+        """Taylor-expanded :math:`E(T, P)` (Theorem 1 proof)."""
+        return expected_pattern_time_first_order(T, P, self.errors, self.costs)
+
+    def overhead(self, T, P):
+        """Expected execution overhead :math:`H(T, P)`."""
+        return pattern_overhead(T, P, self.errors, self.costs, self.speedup)
+
+    def expected_speedup(self, T, P):
+        """Expected speedup :math:`S(T, P)`."""
+        return pattern_speedup(T, P, self.errors, self.costs, self.speedup)
+
+    def error_free_overhead(self, P):
+        """Failure-free floor :math:`H(P)`."""
+        return self.speedup.overhead(P)
+
+    def expected_recovery(self, P):
+        """:math:`E(R_P)` (proof of Proposition 1)."""
+        return expected_recovery_time(P, self.errors, self.costs)
+
+    def expected_work(self, T, P):
+        """:math:`E(T + V_P)` (proof of Proposition 1)."""
+        return expected_work_time(T, P, self.errors, self.costs)
+
+    def expected_checkpoint(self, T, P):
+        """:math:`E(C_P)` (proof of Proposition 1)."""
+        return expected_checkpoint_time(T, P, self.errors, self.costs)
+
+    # -- makespan projection ----------------------------------------------
+
+    def pattern_work(self, T, P):
+        """Sequential-equivalent work :math:`T \\cdot S(P)` done per pattern."""
+        return np.asarray(T, dtype=float) * np.asarray(self.speedup.speedup(P)) \
+            if (np.ndim(T) or np.ndim(P)) else float(T) * float(self.speedup.speedup(P))
+
+    def expected_makespan(self, total_work: float, T, P):
+        """Expected application makespan for total sequential work ``W_total``.
+
+        :math:`E(W_{final}) \\approx H(T, P) \\cdot W_{total}` — the
+        long-job approximation of Section II (the application is an
+        integral number of patterns).
+        """
+        if total_work <= 0.0:
+            raise InvalidParameterError(f"total work must be positive, got {total_work!r}")
+        return self.overhead(T, P) * total_work
+
+    def pattern_count(self, total_work: float, T, P):
+        """Approximate number of patterns :math:`W_{total}/(T\\,S(P))`."""
+        if total_work <= 0.0:
+            raise InvalidParameterError(f"total work must be positive, got {total_work!r}")
+        return total_work / self.pattern_work(T, P)
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def alpha(self) -> float:
+        """Sequential fraction when the profile is Amdahl; raises otherwise."""
+        if not isinstance(self.speedup, AmdahlSpeedup):
+            raise InvalidParameterError(
+                "alpha is only defined for AmdahlSpeedup profiles; "
+                f"got {type(self.speedup).__name__}"
+            )
+        return self.speedup.alpha
+
+    def with_downtime(self, downtime: float) -> "PatternModel":
+        """Copy with a different downtime (Figure 7)."""
+        return PatternModel(self.errors, self.costs.with_downtime(downtime), self.speedup)
+
+    def with_lambda(self, lambda_ind: float) -> "PatternModel":
+        """Copy with a different individual error rate (Figures 5-6)."""
+        return PatternModel(self.errors.with_lambda(lambda_ind), self.costs, self.speedup)
+
+    def with_alpha(self, alpha: float) -> "PatternModel":
+        """Copy with a different sequential fraction (Figure 4)."""
+        return PatternModel(self.errors, self.costs, AmdahlSpeedup(alpha))

@@ -1,0 +1,149 @@
+"""Validity bounds of the first-order approximation (Section III-B).
+
+The first-order analysis Taylor-expands :math:`e^{\\lambda_P C_P}`,
+:math:`e^{\\lambda_P V_P}` and :math:`e^{\\lambda_P T}`; this is accurate
+only while the exponents are small.  Writing :math:`P = \\Theta(\\lambda^{-x})`
+and :math:`T = \\Theta(\\lambda^{-y})` the paper shows the expansion needs
+
+.. math::
+
+    x < \\delta = \\begin{cases} 1/2 & c \\ne 0 \\\\ 1 & c = 0 \\end{cases}
+    \\qquad\\text{and}\\qquad  y < 1 - x .
+
+This module provides both the *order-level* bounds (for asymptotic
+sweeps) and a concrete *smallness check* for a given ``(T, P)`` pair:
+the dimensionless products :math:`\\lambda_P (C_P + V_P)` and
+:math:`(\\lambda^f_P/2 + \\lambda^s_P)\\,T` must be :math:`\\ll 1`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .costs import ResilienceCosts
+from .errors import ErrorModel
+from .pattern import PatternModel
+
+__all__ = [
+    "max_processor_order",
+    "max_period_order",
+    "processor_order",
+    "period_order",
+    "ValidityReport",
+    "check_pattern",
+]
+
+
+def max_processor_order(costs: ResilienceCosts) -> float:
+    """The bound :math:`\\delta` on ``x`` (``P = Θ(λ^-x)``), Eq. (5).
+
+    ``1/2`` when the checkpoint cost grows linearly (``c != 0``), ``1``
+    otherwise.
+    """
+    return 0.5 if costs.c != 0.0 else 1.0
+
+
+def max_period_order(x: float) -> float:
+    """The bound on ``y`` (``T = Θ(λ^-y)``) for a given ``x``, Eq. (6)."""
+    return 1.0 - x
+
+
+def processor_order(P, lambda_ind: float) -> float:
+    """Empirical order ``x = -log(P)/log(lambda_ind)`` of a processor count.
+
+    Useful to place a concrete allocation on the Section III-B map.
+    Requires ``lambda_ind < 1`` (true for any realistic per-second rate).
+    """
+    if lambda_ind <= 0.0 or lambda_ind >= 1.0:
+        raise ValueError(f"order is defined for 0 < lambda_ind < 1, got {lambda_ind!r}")
+    return float(-np.log(P) / np.log(lambda_ind))
+
+
+def period_order(T, lambda_ind: float) -> float:
+    """Empirical order ``y = -log(T)/log(lambda_ind)`` of a period."""
+    if lambda_ind <= 0.0 or lambda_ind >= 1.0:
+        raise ValueError(f"order is defined for 0 < lambda_ind < 1, got {lambda_ind!r}")
+    return float(-np.log(T) / np.log(lambda_ind))
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Concrete smallness diagnostics for a pattern ``(T, P)``.
+
+    Attributes
+    ----------
+    epsilon_resilience:
+        :math:`\\lambda_{ind} P (C_P + V_P)` — must be small for the
+        expansion of the resilience-cost exponentials.
+    epsilon_period:
+        :math:`(\\lambda^f_P/2 + \\lambda^s_P) T` — must be small for the
+        expansion of the period exponential.
+    processor_order_x / period_order_y:
+        The empirical orders of ``P`` and ``T`` in terms of
+        ``lambda_ind``.
+    processor_bound / period_bound:
+        The Section III-B bounds these orders must stay below.
+    threshold:
+        Smallness threshold used for the boolean verdicts.
+    """
+
+    epsilon_resilience: float
+    epsilon_period: float
+    processor_order_x: float
+    period_order_y: float
+    processor_bound: float
+    period_bound: float
+    threshold: float
+
+    @property
+    def resilience_ok(self) -> bool:
+        return self.epsilon_resilience < self.threshold
+
+    @property
+    def period_ok(self) -> bool:
+        return self.epsilon_period < self.threshold
+
+    @property
+    def orders_ok(self) -> bool:
+        return (
+            self.processor_order_x < self.processor_bound
+            and self.period_order_y < self.period_bound
+        )
+
+    @property
+    def ok(self) -> bool:
+        """All smallness conditions hold — first-order results trustworthy."""
+        return self.resilience_ok and self.period_ok
+
+
+def check_pattern(T: float, P: float, model: PatternModel, threshold: float = 0.1) -> ValidityReport:
+    """Diagnose whether first-order results are trustworthy at ``(T, P)``.
+
+    ``threshold`` is the magnitude below which an exponent is considered
+    "small"; 0.1 keeps the relative truncation error of the expansions
+    under about 1%.
+    """
+    errors: ErrorModel = model.errors
+    costs = model.costs
+    lam_total = errors.total_rate(P)
+    eps_res = float(lam_total * costs.combined_cost(P))
+    lam_eff = errors.fail_stop_rate(P) / 2.0 + errors.silent_rate(P)
+    eps_per = float(lam_eff * T)
+    lam_ind = errors.lambda_ind
+    if 0.0 < lam_ind < 1.0:
+        x = processor_order(P, lam_ind)
+        y = period_order(T, lam_ind) if T > 1.0 else 0.0
+    else:  # degenerate rates: orders are meaningless, report zeros
+        x = 0.0
+        y = 0.0
+    return ValidityReport(
+        epsilon_resilience=eps_res,
+        epsilon_period=eps_per,
+        processor_order_x=x,
+        period_order_y=y,
+        processor_bound=max_processor_order(costs),
+        period_bound=max_period_order(x),
+        threshold=threshold,
+    )

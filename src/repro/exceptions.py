@@ -1,0 +1,56 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "ValidityError",
+    "OptimizationError",
+    "SimulationError",
+    "UnknownPlatformError",
+    "UnknownScenarioError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A model parameter is outside its mathematically valid domain.
+
+    Examples: a negative error rate, a sequential fraction outside
+    ``[0, 1]``, or a non-positive checkpoint period.
+    """
+
+
+class ValidityError(ReproError):
+    """A first-order formula was requested outside its validity regime.
+
+    Section III-B of the paper bounds the orders of ``P`` and ``T`` for
+    which the first-order approximation holds.  Closed-form helpers raise
+    this error when no first-order optimum exists (e.g. Theorem 2 with
+    ``alpha = 0``) rather than returning a meaningless number.
+    """
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """A numerical optimisation failed to bracket or converge."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The Monte-Carlo simulator was configured inconsistently."""
+
+
+class UnknownPlatformError(ReproError, KeyError):
+    """Requested platform name is not in the catalog (Table II)."""
+
+
+class UnknownScenarioError(ReproError, KeyError):
+    """Requested resilience scenario is not one of the six in Table III."""

@@ -1,0 +1,39 @@
+"""Experiment harness: one module per figure of the evaluation section.
+
+Each module's ``run(...)`` returns ``list[FigureResult]`` (one per
+sub-figure); :mod:`repro.experiments.runner` is the CLI that prints
+them as aligned tables and optional CSVs.
+"""
+
+from . import (
+    ext_nodes,
+    ext_segments,
+    ext_weakscaling,
+    ext_weibull,
+    fig2_scenarios,
+    fig3_processors,
+    fig4_alpha,
+    fig5_error_rate,
+    fig6_alpha_zero,
+    fig7_downtime,
+)
+from .common import FigureResult, SimSettings, simulate_mean
+from .runner import main, print_input_tables
+
+__all__ = [
+    "FigureResult",
+    "SimSettings",
+    "simulate_mean",
+    "fig2_scenarios",
+    "fig3_processors",
+    "fig4_alpha",
+    "fig5_error_rate",
+    "fig6_alpha_zero",
+    "fig7_downtime",
+    "ext_nodes",
+    "ext_segments",
+    "ext_weakscaling",
+    "ext_weibull",
+    "main",
+    "print_input_tables",
+]

@@ -1,0 +1,107 @@
+"""Figure 6: perfectly parallel jobs (alpha = 0) under the rate sweep.
+
+With ``alpha = 0`` the first-order analysis admits no optimum (Section
+III-D.4), so the paper reports the numerical optimum only.  Sweep
+``lambda_ind`` over 1e-12 .. 1e-8 for scenarios 1, 3, 5 on Hera and
+regenerate the three panels: numerical ``P*``, ``T*`` and simulated
+overhead.
+
+Shape checks (paper, Section IV-B.4): scenario 1 follows
+:math:`P^* \\approx \\Theta(\\lambda^{-1/2})`,
+:math:`T^* \\approx \\Theta(\\lambda^{-1/2})`,
+:math:`H^* \\approx \\Theta(\\lambda^{1/2})`; scenarios 3/5 follow
+:math:`P^* \\approx \\Theta(\\lambda^{-1})`, :math:`T^* \\approx O(1)`,
+:math:`H^* \\approx \\Theta(\\lambda)`.  Slope fits in the notes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.asymptotics import fit_loglog_slope
+from ..optimize.allocation import optimize_allocation
+from ..platforms.catalog import DEFAULT_DOWNTIME
+from ..platforms.scenarios import build_model
+from .common import FigureResult, SimSettings, simulate_mean
+from .fig5_error_rate import default_lambda_grid
+
+__all__ = ["run"]
+
+
+def _expected_orders(sc: int) -> tuple[float, float, float]:
+    """(x, y, z): P* ~ λ^-x, T* ~ λ^-y, H* ~ λ^z (numerical, Fig. 6)."""
+    return (0.5, 0.5, 0.5) if sc in (1, 2) else (1.0, 0.0, 1.0)
+
+
+def run(
+    platform: str = "Hera",
+    scenarios: tuple[int, ...] = (1, 3, 5),
+    lambdas: np.ndarray | None = None,
+    downtime: float = DEFAULT_DOWNTIME,
+    settings: SimSettings = SimSettings(),
+) -> list[FigureResult]:
+    """Regenerate Figure 6 (a)-(c).  Returns three FigureResults."""
+    lams = default_lambda_grid() if lambdas is None else np.asarray(lambdas, dtype=float)
+
+    per_sc: dict[int, dict[str, list]] = {
+        sc: {"P": [], "T": [], "H_pred": [], "H_sim": []} for sc in scenarios
+    }
+    for lam in lams:
+        for sc in scenarios:
+            model = build_model(
+                platform, sc, alpha=0.0, downtime=downtime, lambda_ind=float(lam)
+            )
+            num = optimize_allocation(model)
+            store = per_sc[sc]
+            store["P"].append(num.processors)
+            store["T"].append(num.period)
+            store["H_pred"].append(num.overhead)
+            store["H_sim"].append(
+                simulate_mean(model, num.period, num.processors, settings)
+            )
+
+    slope_notes = []
+    for sc in scenarios:
+        x_exp, y_exp, z_exp = _expected_orders(sc)
+        p_fit = fit_loglog_slope(lams, np.asarray(per_sc[sc]["P"], dtype=float))
+        h_fit = fit_loglog_slope(lams, np.asarray(per_sc[sc]["H_pred"], dtype=float))
+        slope_notes.append(
+            f"scenario {sc}: fitted P* order {p_fit.slope:+.3f} (paper ~{-x_exp:+.2f}), "
+            f"H* order {h_fit.slope:+.3f} (paper ~{z_exp:+.2f})"
+        )
+
+    def _rows(key: str) -> tuple[tuple, ...]:
+        rows = []
+        for i, lam in enumerate(lams):
+            row: list = [float(lam)]
+            for sc in scenarios:
+                row.append(per_sc[sc][key][i])
+            rows.append(tuple(row))
+        return tuple(rows)
+
+    sc_cols = tuple(f"scenario_{s}" for s in scenarios)
+    base = f"fig6_{platform.lower()}"
+    note = f"platform {platform}, alpha=0 (perfectly parallel), D={downtime:g}s"
+    return [
+        FigureResult(
+            figure_id=f"{base}a_processors",
+            title=f"Figure 6(a) [{platform}]: numerical optimal P* vs lambda_ind (alpha=0)",
+            columns=("lambda_ind",) + sc_cols,
+            rows=_rows("P"),
+            notes=(note,) + tuple(slope_notes),
+        ),
+        FigureResult(
+            figure_id=f"{base}b_period",
+            title=f"Figure 6(b) [{platform}]: numerical optimal T* vs lambda_ind (alpha=0)",
+            columns=("lambda_ind",) + sc_cols,
+            rows=_rows("T"),
+            notes=(note, "scenario 1: T* ~ lambda^-1/2; scenarios 3/5: T* ~ O(1)"),
+        ),
+        FigureResult(
+            figure_id=f"{base}c_overhead",
+            title=f"Figure 6(c) [{platform}]: simulated overhead vs lambda_ind (alpha=0)",
+            columns=("lambda_ind",) + sc_cols,
+            rows=_rows("H_sim"),
+            notes=(note, "H ~ lambda^1/2 (sc 1) and ~ lambda (sc 3/5)"),
+        ),
+    ]

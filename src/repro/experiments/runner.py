@@ -1,0 +1,231 @@
+"""Command-line entry point regenerating the paper's evaluation.
+
+Usage examples::
+
+    repro-experiments tables                 # Tables II and III (inputs)
+    repro-experiments fig2 --platform Hera   # one Figure 2 panel column
+    repro-experiments fig2 --all-platforms   # the full Figure 2
+    repro-experiments fig5 --paper           # full-fidelity Monte Carlo
+    repro-experiments all --no-sim           # every analytic series, fast
+    repro-experiments fig6 --csv out/        # dump series as CSV too
+
+(Equivalently: ``python -m repro <command> ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from ..io.tables import render_table
+from ..platforms.catalog import PLATFORM_NAMES, PLATFORMS
+from ..platforms.scenarios import SCENARIOS
+from ..sim.montecarlo import FAST, PAPER, Fidelity
+from ..sim.rng import DEFAULT_SEED
+from . import (
+    ext_nodes,
+    ext_segments,
+    ext_weakscaling,
+    ext_weibull,
+    fig2_scenarios,
+    fig3_processors,
+    fig4_alpha,
+    fig5_error_rate,
+    fig6_alpha_zero,
+    fig7_downtime,
+)
+from .common import FigureResult, SimSettings
+
+__all__ = ["main", "print_input_tables"]
+
+_FIGURES: dict[str, Callable[..., list[FigureResult]]] = {
+    "fig2": fig2_scenarios.run,
+    "fig3": fig3_processors.run,
+    "fig4": fig4_alpha.run,
+    "fig5": fig5_error_rate.run,
+    "fig6": fig6_alpha_zero.run,
+    "fig7": fig7_downtime.run,
+    "ext-segments": ext_segments.run,
+    "ext-weibull": ext_weibull.run,
+    "ext-weakscaling": ext_weakscaling.run,
+    "ext-nodes": ext_nodes.run,
+}
+
+
+def print_input_tables(stream=None) -> None:
+    """Print Tables II (platforms) and III (scenarios) — the inputs."""
+    stream = stream or sys.stdout
+    rows2 = [
+        (
+            p.name,
+            p.lambda_ind,
+            p.fail_stop_fraction,
+            p.silent_fraction,
+            p.reference_processors,
+            p.checkpoint_cost,
+            p.verification_cost,
+        )
+        for p in (PLATFORMS[n] for n in PLATFORM_NAMES)
+    ]
+    print(
+        render_table(
+            ("platform", "lambda_ind", "f", "s", "P_ref", "C_P (s)", "V_P (s)"),
+            rows2,
+            title="Table II: platform parameters (SCR measurements)",
+        ),
+        file=stream,
+    )
+    print(file=stream)
+    rows3 = [(s.id, s.checkpoint_form, s.verification_form) for s in SCENARIOS.values()]
+    print(
+        render_table(
+            ("scenario", "C_P,R_P", "V_P"),
+            rows3,
+            title="Table III: resilience scenarios",
+        ),
+        file=stream,
+    )
+
+
+def _settings_from_args(args: argparse.Namespace) -> SimSettings:
+    if args.runs is not None or args.patterns is not None:
+        fidelity = Fidelity(
+            n_runs=args.runs if args.runs is not None else FAST.n_runs,
+            n_patterns=args.patterns if args.patterns is not None else FAST.n_patterns,
+            name="custom",
+        )
+    else:
+        fidelity = PAPER if args.paper else FAST
+    return SimSettings(simulate=not args.no_sim, fidelity=fidelity, seed=args.seed)
+
+
+def _run_figure(name: str, args: argparse.Namespace) -> list[FigureResult]:
+    settings = _settings_from_args(args)
+    runner = _FIGURES[name]
+    results: list[FigureResult] = []
+    if name == "fig2" and args.all_platforms:
+        for platform in PLATFORM_NAMES:
+            results.extend(runner(platform=platform, settings=settings))
+    else:
+        results.extend(runner(platform=args.platform, settings=settings))
+    return results
+
+
+def _emit(results: Sequence[FigureResult], args: argparse.Namespace) -> None:
+    for result in results:
+        print(result.table())
+        print()
+        if args.csv:
+            path = result.to_csv(args.csv)
+            print(f"  [csv] {path}")
+            print()
+
+
+def _add_common_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--platform",
+        default="Hera",
+        choices=list(PLATFORM_NAMES),
+        help="platform from Table II (default Hera)",
+    )
+    sub.add_argument("--no-sim", action="store_true", help="skip Monte-Carlo columns")
+    sub.add_argument(
+        "--paper",
+        action="store_true",
+        help="full-fidelity simulation (500 runs x 500 patterns)",
+    )
+    sub.add_argument("--runs", type=int, default=None, help="override Monte-Carlo runs")
+    sub.add_argument(
+        "--patterns", type=int, default=None, help="override patterns per run"
+    )
+    sub.add_argument("--seed", type=int, default=DEFAULT_SEED, help="master RNG seed")
+    sub.add_argument("--csv", default=None, metavar="DIR", help="also dump CSV files")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation of 'When Amdahl Meets Young/Daly' "
+        "(Cluster 2016).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("tables", help="print Tables II and III (inputs)")
+
+    descriptions = {
+        "fig2": "optimal patterns per scenario and platform",
+        "fig3": "sweep of the processor count (period, overhead, first-order gap)",
+        "fig4": "sweep of the sequential fraction alpha",
+        "fig5": "sweep of the error rate (alpha = 0.1) with slope fits",
+        "fig6": "sweep of the error rate for perfectly parallel jobs (alpha = 0)",
+        "fig7": "sweep of the downtime D",
+        "ext-segments": "extension: interleaved verifications (segments per checkpoint)",
+        "ext-weibull": "extension: robustness under Weibull fail-stop arrivals",
+        "ext-weakscaling": "extension: weak vs strong scaling under failures",
+        "ext-nodes": "extension: per-node failure laws vs the aggregated platform",
+    }
+    for name, desc in descriptions.items():
+        sub = subparsers.add_parser(name, help=desc)
+        _add_common_options(sub)
+        if name == "fig2":
+            sub.add_argument(
+                "--all-platforms",
+                action="store_true",
+                help="regenerate all four platform columns of Figure 2",
+            )
+
+    sub_all = subparsers.add_parser("all", help="regenerate every figure")
+    _add_common_options(sub_all)
+    sub_all.add_argument("--all-platforms", action="store_true")
+
+    sub_report = subparsers.add_parser(
+        "report", help="regenerate everything into one markdown report"
+    )
+    _add_common_options(sub_report)
+    sub_report.add_argument("--all-platforms", action="store_true")
+    sub_report.add_argument(
+        "--out", default="report.md", metavar="FILE", help="output markdown path"
+    )
+    return parser
+
+
+def _write_report(args: argparse.Namespace) -> None:
+    import io as _io
+
+    from ..io.report import write_report
+
+    settings = _settings_from_args(args)
+    sections = [(name, _run_figure(name, args)) for name in _FIGURES]
+    buffer = _io.StringIO()
+    print_input_tables(stream=buffer)
+    sim = (
+        f"{settings.fidelity.n_runs} runs x {settings.fidelity.n_patterns} "
+        f"patterns, seed {settings.seed}"
+        if settings.simulate
+        else "disabled"
+    )
+    path = write_report(args.out, sections, sim, input_tables=buffer.getvalue())
+    print(f"[report] {path}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        print_input_tables()
+        return 0
+    started = time.perf_counter()
+    if args.command == "all":
+        for name in _FIGURES:
+            _emit(_run_figure(name, args), args)
+    elif args.command == "report":
+        _write_report(args)
+    else:
+        _emit(_run_figure(args.command, args), args)
+    print(f"[done in {time.perf_counter() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

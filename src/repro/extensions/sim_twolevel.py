@@ -1,0 +1,175 @@
+"""Vectorised Monte-Carlo simulation of segmented patterns.
+
+Validates :mod:`repro.extensions.twolevel` the same way
+:mod:`repro.sim.batch` validates Proposition 1: closed-form sampling of
+the exact protocol distribution, no event loop.
+
+Per failed round of PATTERN(T, P, k):
+
+* with probability :math:`p^k (1 - e^{-\\lambda^f C}) / (1 - p_{pat})`
+  the chain passed and the *checkpoint* was hit: cost
+  ``k A + truncexp(C) + D + REC``;
+* otherwise the chain failed at segment ``J`` (truncated geometric):
+  cost ``(J-1) A`` plus either a truncated exponential over ``A`` + D
+  (fail-stop) or the full ``A`` (silent detected), plus ``REC``.
+
+``k = 1`` must reproduce :func:`repro.sim.batch.simulate_batch`'s
+distribution — asserted statistically in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pattern import PatternModel
+from ..exceptions import SimulationError
+from ..sim.batch import truncated_exponential
+
+__all__ = ["SegmentedBatchStats", "simulate_segmented_batch"]
+
+
+@dataclass(frozen=True)
+class SegmentedBatchStats:
+    """Aggregate outcome of a segmented-pattern simulation batch."""
+
+    run_times: np.ndarray
+    n_patterns: int
+    segments: int
+    n_attempts: int
+    n_fail_stop: int
+    n_silent_detected: int
+    n_recoveries: int
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.run_times.size)
+
+    @property
+    def mean_pattern_time(self) -> float:
+        """Empirical E(T, P, k)."""
+        return float(self.run_times.mean() / self.n_patterns)
+
+
+def _sample_truncated_geometric(
+    rng: np.random.Generator, p: float, k: int, size: int
+) -> np.ndarray:
+    """Failing-segment index J in 1..k, P(J=j) ∝ p^{j-1}(1-p)."""
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    if p <= 0.0:
+        return np.ones(size, dtype=np.int64)
+    u = rng.random(size)
+    # Inverse CDF of the truncated geometric: F(j) = (1 - p^j)/(1 - p^k).
+    j = np.ceil(np.log1p(-u * (1.0 - p**k)) / np.log(p)).astype(np.int64)
+    return np.clip(j, 1, k)
+
+
+def simulate_segmented_batch(
+    model: PatternModel,
+    T: float,
+    P: float,
+    k: int,
+    n_runs: int,
+    n_patterns: int,
+    rng: np.random.Generator,
+) -> SegmentedBatchStats:
+    """Simulate runs of PATTERN(T, P, k) — k verified segments + checkpoint."""
+    if T <= 0.0 or P <= 0.0:
+        raise SimulationError("T and P must be positive")
+    if k < 1:
+        raise SimulationError(f"segment count k must be >= 1, got {k!r}")
+    if n_runs <= 0 or n_patterns <= 0:
+        raise SimulationError("n_runs and n_patterns must be positive")
+
+    lam_f = float(model.errors.fail_stop_rate(P))
+    lam_s = float(model.errors.silent_rate(P))
+    C = float(model.costs.checkpoint_cost(P))
+    R = float(model.costs.recovery_cost(P))
+    V = float(model.costs.verification_cost(P))
+    D = float(model.costs.downtime)
+    s = T / k
+    A = s + V
+
+    p_fs_ok = np.exp(-lam_f * A)
+    p_seg = np.exp(-lam_f * A - lam_s * s)
+    p_ck_ok = np.exp(-lam_f * C)
+    p_ok_R = np.exp(-lam_f * R)
+    p_pattern = p_seg**k * p_ck_ok
+
+    n_total = n_runs * n_patterns
+    base_time = n_patterns * (k * A + C)
+
+    if p_pattern >= 1.0:
+        return SegmentedBatchStats(
+            run_times=np.full(n_runs, base_time),
+            n_patterns=n_patterns,
+            segments=k,
+            n_attempts=n_total,
+            n_fail_stop=0,
+            n_silent_detected=0,
+            n_recoveries=0,
+        )
+
+    attempts = rng.geometric(p_pattern, size=n_total)
+    failures = attempts - 1
+    n_failures = int(failures.sum())
+    run_of_pattern = np.repeat(np.arange(n_runs), n_patterns)
+    run_of_failure = np.repeat(run_of_pattern, failures)
+
+    # Classify failures: checkpoint-stage vs chain-stage.
+    p_ck_fail = p_seg**k * (1.0 - p_ck_ok) / (1.0 - p_pattern)
+    u = rng.random(n_failures)
+    is_ck = u < p_ck_fail
+    n_ck = int(is_ck.sum())
+    n_chain = n_failures - n_ck
+
+    cost = np.empty(n_failures)
+    if n_ck:
+        cost[is_ck] = k * A + truncated_exponential(rng, lam_f, C, n_ck) + D
+
+    n_fs = n_ck  # checkpoint failures are fail-stop by construction
+    n_sil = 0
+    if n_chain:
+        chain_idx = ~is_ck
+        J = _sample_truncated_geometric(rng, p_seg, k, n_chain)
+        # Within the failing segment: fail-stop vs silent-detected.
+        q_seg = 1.0 - p_seg
+        w_fs = (1.0 - p_fs_ok) / q_seg if q_seg > 0.0 else 0.0
+        fs_mask = rng.random(n_chain) < w_fs
+        n_seg_fs = int(fs_mask.sum())
+        n_fs += n_seg_fs
+        n_sil = n_chain - n_seg_fs
+        seg_cost = np.empty(n_chain)
+        if n_seg_fs:
+            seg_cost[fs_mask] = truncated_exponential(rng, lam_f, A, n_seg_fs) + D
+        if n_sil:
+            seg_cost[~fs_mask] = A
+        cost[chain_idx] = (J - 1) * A + seg_cost
+
+    # One recovery per failure, retried through fail-stop interruptions.
+    if lam_f > 0.0 and n_failures:
+        rec_failures = rng.geometric(p_ok_R, size=n_failures) - 1
+        n_sub = int(rec_failures.sum())
+        sub_losses = truncated_exponential(rng, lam_f, R, n_sub)
+        per_failure_loss = np.bincount(
+            np.repeat(np.arange(n_failures), rec_failures),
+            weights=sub_losses,
+            minlength=n_failures,
+        )
+        cost += R + rec_failures * D + per_failure_loss
+        n_fs += n_sub
+    else:
+        cost += R
+
+    run_times = base_time + np.bincount(run_of_failure, weights=cost, minlength=n_runs)
+    return SegmentedBatchStats(
+        run_times=run_times,
+        n_patterns=n_patterns,
+        segments=k,
+        n_attempts=int(attempts.sum()),
+        n_fail_stop=n_fs,
+        n_silent_detected=n_sil,
+        n_recoveries=n_failures,
+    )

@@ -1,0 +1,6 @@
+"""Reporting: ASCII tables and CSV export."""
+
+from .csvout import write_csv
+from .tables import format_cell, render_table
+
+__all__ = ["render_table", "format_cell", "write_csv"]

@@ -1,0 +1,33 @@
+"""CSV export of experiment results.
+
+Each figure generator can dump its series to a CSV so external plotting
+tools (gnuplot/matplotlib notebooks) can redraw the paper's figures
+from the regenerated data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = ["write_csv"]
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write ``rows`` under ``headers`` to ``path`` (parents created).
+
+    ``None`` cells are written as empty strings.  Returns the path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(["" if v is None else v for v in row])
+    return path

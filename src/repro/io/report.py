@@ -1,0 +1,60 @@
+"""Consolidated markdown report of regenerated results.
+
+``python -m repro report --out report.md`` regenerates every figure
+(and the extension studies) and writes one self-contained markdown
+document: the input tables, each figure's series as a fenced code
+block, and the notes (slope fits, gap bounds) underneath — a
+machine-written companion to the hand-curated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+from datetime import date
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .._version import __version__
+from ..experiments.common import FigureResult
+
+__all__ = ["write_report"]
+
+_HEADER = """# Regenerated results — When Amdahl Meets Young/Daly
+
+Produced by `repro` {version} on {today}.
+Simulation: {sim}.
+
+Every table below is a printed rendition of one (sub)figure of the
+paper's evaluation (or an extension study); see EXPERIMENTS.md for the
+paper-vs-measured commentary and DESIGN.md for the module map.
+"""
+
+
+def write_report(
+    path: str | Path,
+    sections: Iterable[tuple[str, Sequence[FigureResult]]],
+    sim_description: str,
+    input_tables: str | None = None,
+) -> Path:
+    """Write all ``sections`` (title, figure results) to ``path``.
+
+    Returns the written path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    out = io.StringIO()
+    out.write(
+        _HEADER.format(version=__version__, today=date.today(), sim=sim_description)
+    )
+    if input_tables:
+        out.write("\n## Inputs (Tables II-III)\n\n```\n")
+        out.write(input_tables.rstrip())
+        out.write("\n```\n")
+    for title, results in sections:
+        out.write(f"\n## {title}\n")
+        for result in results:
+            out.write(f"\n### {result.title}\n\n```\n")
+            out.write(result.table().rstrip())
+            out.write("\n```\n")
+    path.write_text(out.getvalue())
+    return path

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for the experiment reports.
+
+The benchmark harness "regenerates the figures" as printed series; this
+module renders them as aligned ASCII tables that read like the paper's
+plots (one row per x-value, one column per curve).  No third-party
+table library: alignment-aware monospace rendering is 60 lines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_cell", "render_table"]
+
+
+def format_cell(value: Any, floatfmt: str = "{:.6g}") -> str:
+    """Render one cell: floats through ``floatfmt``, None as '-', rest via str."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = "{:.6g}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric-looking columns are right-aligned, text columns left-aligned.
+
+    >>> print(render_table(["name", "x"], [["a", 1.5], ["bb", 20.25]]))
+    name      x
+    ----  -----
+    a       1.5
+    bb    20.25
+    """
+    str_rows = [[format_cell(v, floatfmt) for v in row] for row in rows]
+    n_cols = len(headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {n_cols} columns"
+            )
+
+    def _is_numeric(text: str) -> bool:
+        if text in ("-", ""):
+            return True
+        try:
+            float(text)
+            return True
+        except ValueError:
+            return False
+
+    right_align = [
+        all(_is_numeric(row[i]) for row in str_rows) if str_rows else False
+        for i in range(n_cols)
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows else len(headers[i])
+        for i in range(n_cols)
+    ]
+
+    def _fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if right_align[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_fmt_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_fmt_line(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Numerically optimal checkpointing period for a fixed processor count.
+
+The paper's "optimal" reference curves minimise the **exact** expected
+overhead :math:`H(T, P) = H(P)\\,E(T, P)/T` of Proposition 1 (no Taylor
+truncation), which is what this module computes.  The objective is
+smooth and strictly unimodal in ``T`` — it blows up as
+:math:`(V_P + C_P)/T` for small ``T`` and as :math:`e^{\\lambda T}/T`
+for large ``T`` — so a log-space zoom plus a Brent polish converges to
+machine precision in a few dozen evaluations.
+
+A vectorised variant optimises the period for a whole *array* of
+processor counts at once (all rounds evaluate a 2-D ``(T, P)`` grid in a
+single broadcast call), which is the hot path of the allocation
+optimiser and the figure sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.first_order import optimal_period
+from ..core.pattern import PatternModel
+from ..exceptions import OptimizationError
+from .scalar import minimize_scalar
+
+__all__ = ["PeriodResult", "optimize_period", "optimize_period_batch"]
+
+#: Log-width of the initial search window around the first-order seed.
+_SEED_DECADES = 3.0
+
+
+@dataclass(frozen=True)
+class PeriodResult:
+    """Numerically optimal period for a fixed ``P``.
+
+    Attributes
+    ----------
+    period:
+        Argmin :math:`T^{opt}_P` of the exact overhead.
+    overhead:
+        Exact expected overhead at the optimum.
+    expected_time:
+        Exact expected pattern time :math:`E(T^{opt}_P, P)`.
+    nfev:
+        Objective evaluations used.
+    converged:
+        Whether the scalar solver met its tolerance.
+    """
+
+    period: float
+    overhead: float
+    expected_time: float
+    nfev: int
+    converged: bool
+
+
+def _seed_period(model: PatternModel, P: float) -> float:
+    """First-order T* (Theorem 1) as the centre of the search window."""
+    lam_eff = model.errors.fail_stop_rate(P) / 2.0 + model.errors.silent_rate(P)
+    if lam_eff <= 0.0:
+        raise OptimizationError(
+            "the platform is error-free: the optimal period is unbounded "
+            "(never checkpoint)"
+        )
+    return float(optimal_period(P, model.errors, model.costs))
+
+
+def optimize_period(model: PatternModel, P: float, seed: float | None = None) -> PeriodResult:
+    """Minimise the exact overhead over ``T`` for a fixed ``P``.
+
+    Parameters
+    ----------
+    model:
+        The platform/application bundle.
+    P:
+        Processor count (fixed).
+    seed:
+        Optional centre for the search window; defaults to the
+        first-order optimum of Theorem 1, which is within a small factor
+        of the exact optimum everywhere in the validity regime.
+    """
+    T0 = seed if seed is not None else _seed_period(model, P)
+    lo = T0 * 10.0**-_SEED_DECADES
+    hi = T0 * 10.0**_SEED_DECADES
+
+    def objective(T: float) -> float:
+        value = model.overhead(T, P)
+        return float(value) if np.isfinite(value) else np.inf
+
+    result = minimize_scalar(objective, bounds=(lo, hi), rtol=1e-12)
+    # If the optimum pinned to the window edge the seed was off; widen once.
+    if result.x / lo < 1.001 or hi / result.x < 1.001:
+        lo, hi = lo * 1e-3, hi * 1e3
+        result = minimize_scalar(objective, bounds=(lo, hi), rtol=1e-12)
+        if result.x / lo < 1.001 or hi / result.x < 1.001:
+            raise OptimizationError(
+                f"optimal period not interior to [{lo:g}, {hi:g}] for P={P:g}; "
+                "the overhead appears monotone in T"
+            )
+    return PeriodResult(
+        period=result.x,
+        overhead=result.fun,
+        expected_time=float(model.expected_time(result.x, P)),
+        nfev=result.nfev,
+        converged=result.converged,
+    )
+
+
+def optimize_period_batch(
+    model: PatternModel,
+    P: np.ndarray,
+    points: int = 17,
+    rounds: int = 14,
+    seed_decades: float = _SEED_DECADES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised per-``P`` period optimisation.
+
+    For each entry of ``P`` the exact overhead is minimised over ``T``
+    by a per-column log-space zoom: every round evaluates one broadcast
+    ``(points, len(P))`` overhead matrix and shrinks each column's
+    bracket around its own argmin.  Precision after ``rounds`` rounds is
+    ``(2 * seed_decades) * (2/(points-1))**rounds`` decades — below 1e-9
+    relative with the defaults.
+
+    Returns
+    -------
+    (T_opt, H_opt):
+        Arrays of optimal periods and exact overheads, aligned with ``P``.
+    """
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 1 or P.size == 0:
+        raise OptimizationError("P must be a non-empty 1-D array")
+    lam_eff = model.errors.fail_stop_rate(P) / 2.0 + model.errors.silent_rate(P)
+    if np.any(lam_eff <= 0.0):
+        raise OptimizationError("error-free platform: optimal period unbounded")
+    T0 = np.asarray(optimal_period(P, model.errors, model.costs), dtype=float)
+    lo = T0 * 10.0**-seed_decades
+    hi = T0 * 10.0**seed_decades
+
+    rows = np.arange(points)[:, None]  # (points, 1)
+    cols = np.arange(P.size)
+    for _ in range(rounds):
+        ratio = hi / lo
+        # Per-column geometric grid: lo * ratio**(k/(points-1)).
+        Ts = lo[None, :] * ratio[None, :] ** (rows / (points - 1))
+        with np.errstate(over="ignore", invalid="ignore"):
+            Hs = np.asarray(model.overhead(Ts, P[None, :]), dtype=float)
+        Hs = np.where(np.isfinite(Hs), Hs, np.inf)
+        best = np.argmin(Hs, axis=0)
+        lo = Ts[np.maximum(best - 1, 0), cols]
+        hi = Ts[np.minimum(best + 1, points - 1), cols]
+        if np.max(hi / lo) - 1.0 < 1e-11:
+            break
+    T_opt = np.sqrt(lo * hi)
+    with np.errstate(over="ignore", invalid="ignore"):
+        H_opt = np.asarray(model.overhead(T_opt, P), dtype=float)
+    # Overflowed regions of the search domain read as +inf, never NaN,
+    # so downstream argmins stay well-defined.
+    H_opt = np.where(np.isfinite(H_opt), H_opt, np.inf)
+    return T_opt, H_opt

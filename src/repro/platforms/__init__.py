@@ -1,0 +1,33 @@
+"""Platform catalog (Table II) and resilience scenarios (Table III)."""
+
+from .catalog import (
+    DEFAULT_ALPHA,
+    DEFAULT_DOWNTIME,
+    PLATFORM_NAMES,
+    PLATFORMS,
+    Platform,
+    get_platform,
+)
+from .scenarios import (
+    SCENARIO_IDS,
+    SCENARIOS,
+    Scenario,
+    build_model,
+    get_scenario,
+    scenario_costs,
+)
+
+__all__ = [
+    "Platform",
+    "PLATFORMS",
+    "PLATFORM_NAMES",
+    "get_platform",
+    "DEFAULT_DOWNTIME",
+    "DEFAULT_ALPHA",
+    "Scenario",
+    "SCENARIOS",
+    "SCENARIO_IDS",
+    "get_scenario",
+    "scenario_costs",
+    "build_model",
+]

@@ -1,0 +1,170 @@
+"""Resilience scenarios — Table III of the paper.
+
+Table II gives one measured checkpoint cost ``C_ref`` and verification
+cost ``V_ref`` per platform, at a reference processor count ``P_ref``.
+To study how cost *scalability* shapes the optimal pattern, the paper
+projects these measurements onto six scenarios:
+
+======== =========== ===========
+Scenario C_P, R_P    V_P
+======== =========== ===========
+1        cP          v
+2        cP          u/P
+3        a           v
+4        a           u/P
+5        b/P         v
+6        b/P         u/P
+======== =========== ===========
+
+The coefficient of each form is fitted so the projected cost equals the
+measured one at ``P_ref`` (e.g. scenario 1: ``c = C_ref / P_ref``), and
+the form then extrapolates to any ``P``.  Scenario/regime mapping for
+the first-order analysis (Section IV-A):
+
+* scenarios 1-2 → Theorem 2 (``C_P = cP``, LINEAR regime);
+* scenarios 3-5 → Theorem 3 (``C_P + V_P = d + o(1)``, CONSTANT regime
+  — note scenario 5's constant part is only the verification ``v``);
+* scenario 6  → case 3 (``C_P + V_P = h/P``, DECAYING regime, numerical
+  optimisation only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.costs import CheckpointCost, ResilienceCosts, VerificationCost
+from ..core.pattern import PatternModel
+from ..core.speedup import AmdahlSpeedup
+from ..exceptions import UnknownScenarioError
+from .catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME, Platform, get_platform
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "SCENARIO_IDS",
+    "get_scenario",
+    "scenario_costs",
+    "build_model",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One column of Table III.
+
+    ``checkpoint_form`` and ``verification_form`` name which coefficient
+    of the general models ``a + b/P + cP`` / ``v + u/P`` is active.
+    """
+
+    id: int
+    checkpoint_form: str  # "cP" | "a" | "b/P"
+    verification_form: str  # "v" | "u/P"
+
+    def checkpoint_model(self, c_ref: float, p_ref: float) -> CheckpointCost:
+        """Fit the checkpoint form through the measured ``(P_ref, C_ref)``."""
+        if self.checkpoint_form == "cP":
+            return CheckpointCost.linear(c_ref / p_ref)
+        if self.checkpoint_form == "a":
+            return CheckpointCost.constant(c_ref)
+        if self.checkpoint_form == "b/P":
+            return CheckpointCost.scaling(c_ref * p_ref)
+        raise UnknownScenarioError(f"bad checkpoint form {self.checkpoint_form!r}")
+
+    def verification_model(self, v_ref: float, p_ref: float) -> VerificationCost:
+        """Fit the verification form through the measured ``(P_ref, V_ref)``."""
+        if self.verification_form == "v":
+            return VerificationCost.constant(v_ref)
+        if self.verification_form == "u/P":
+            return VerificationCost.scaling(v_ref * p_ref)
+        raise UnknownScenarioError(f"bad verification form {self.verification_form!r}")
+
+    @property
+    def label(self) -> str:
+        return f"C={self.checkpoint_form}, V={self.verification_form}"
+
+
+#: Table III.
+SCENARIOS: dict[int, Scenario] = {
+    1: Scenario(1, "cP", "v"),
+    2: Scenario(2, "cP", "u/P"),
+    3: Scenario(3, "a", "v"),
+    4: Scenario(4, "a", "u/P"),
+    5: Scenario(5, "b/P", "v"),
+    6: Scenario(6, "b/P", "u/P"),
+}
+
+#: Canonical ordering used by the figures.
+SCENARIO_IDS: tuple[int, ...] = (1, 2, 3, 4, 5, 6)
+
+
+def get_scenario(scenario_id: int) -> Scenario:
+    """Look up one of the six scenarios of Table III."""
+    try:
+        return SCENARIOS[int(scenario_id)]
+    except (KeyError, ValueError) as exc:
+        raise UnknownScenarioError(
+            f"unknown scenario {scenario_id!r}; valid ids: {SCENARIO_IDS}"
+        ) from exc
+
+
+def scenario_costs(
+    platform: Platform | str,
+    scenario_id: int,
+    downtime: float = DEFAULT_DOWNTIME,
+) -> ResilienceCosts:
+    """Project a platform's measured costs onto a Table-III scenario.
+
+    The returned bundle evaluates to the measured ``C_ref``/``V_ref`` at
+    the platform's reference processor count and extrapolates with the
+    scenario's scalability form elsewhere.
+
+    >>> costs = scenario_costs("Hera", 1)
+    >>> round(costs.checkpoint_cost(512), 6)   # reproduces Table II
+    300.0
+    """
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    scenario = get_scenario(scenario_id)
+    p_ref = float(platform.reference_processors)
+    return ResilienceCosts(
+        checkpoint=scenario.checkpoint_model(platform.checkpoint_cost, p_ref),
+        verification=scenario.verification_model(platform.verification_cost, p_ref),
+        downtime=downtime,
+    )
+
+
+def build_model(
+    platform: Platform | str,
+    scenario_id: int,
+    alpha: float = DEFAULT_ALPHA,
+    downtime: float = DEFAULT_DOWNTIME,
+    lambda_ind: float | None = None,
+) -> PatternModel:
+    """Assemble the full :class:`PatternModel` for a platform + scenario.
+
+    This is the entry point every experiment module uses:
+
+    >>> model = build_model("Hera", 1)
+    >>> model.costs.regime.value
+    'linear'
+
+    Parameters
+    ----------
+    platform:
+        Platform object or name from Table II.
+    scenario_id:
+        Scenario 1-6 from Table III.
+    alpha:
+        Sequential fraction (default 0.1, Section IV-A).
+    downtime:
+        Downtime D in seconds (default one hour).
+    lambda_ind:
+        Optional override of the per-processor error rate (sweeps).
+    """
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    return PatternModel(
+        errors=platform.error_model(lambda_ind),
+        costs=scenario_costs(platform, scenario_id, downtime),
+        speedup=AmdahlSpeedup(alpha),
+    )

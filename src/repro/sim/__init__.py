@@ -1,0 +1,57 @@
+"""Monte-Carlo simulation of the VC protocol.
+
+Two simulators, one distribution:
+
+``protocol``
+    Event-driven reference (legible specification, per-event stats).
+``batch``
+    Vectorised closed-form sampler (the hot path; ~1000x faster).
+
+Plus the :class:`~repro.sim.engine.EventEngine` kernel, reproducible
+RNG streams, estimators, and the high-level
+:func:`~repro.sim.montecarlo.simulate_overhead` driver.
+"""
+
+from .batch import BatchStats, simulate_batch, truncated_exponential
+from .engine import EventEngine
+from .events import Event, EventKind
+from .montecarlo import FAST, PAPER, Fidelity, simulate_overhead
+from .nodes import NodePool, simulate_run_nodes
+from .protocol import RunStats, TimeBreakdown, simulate_run
+from .renewal import simulate_run_renewal
+from .results import OverheadEstimate, overhead_estimate, overhead_samples
+from .rng import make_rng, spawn_rngs, spawn_seed_sequences
+from .streams import ArrivalProcess, ExponentialArrivals, WeibullArrivals
+from .trace import Trace, TraceEvent, TraceEventKind, format_trace
+
+__all__ = [
+    "EventEngine",
+    "Event",
+    "EventKind",
+    "RunStats",
+    "TimeBreakdown",
+    "simulate_run",
+    "BatchStats",
+    "simulate_batch",
+    "truncated_exponential",
+    "OverheadEstimate",
+    "overhead_estimate",
+    "overhead_samples",
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+    "Fidelity",
+    "FAST",
+    "PAPER",
+    "simulate_overhead",
+    "simulate_run_renewal",
+    "NodePool",
+    "simulate_run_nodes",
+    "ArrivalProcess",
+    "ExponentialArrivals",
+    "WeibullArrivals",
+    "Trace",
+    "TraceEvent",
+    "TraceEventKind",
+    "format_trace",
+]

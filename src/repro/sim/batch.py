@@ -1,0 +1,203 @@
+"""Vectorised Monte-Carlo simulation of the VC protocol.
+
+The reference simulator (:mod:`repro.sim.protocol`) steps through every
+event; fine for one run, too slow for the paper's 500-runs-by-500-
+patterns grids times dozens of parameter points.  This module samples
+the **exact same distribution** without an event loop by exploiting the
+renewal structure of a pattern:
+
+* an attempt succeeds with probability
+  :math:`p = e^{-\\lambda^f (T+V+C) - \\lambda^s T}`, so the number of
+  failed attempts per pattern is geometric;
+* conditioned on failing, an attempt fails in exactly one of three ways:
+
+  - **A** — fail-stop during work+verification
+    (prob :math:`1 - e^{-\\lambda^f (T+V)}`): costs a truncated
+    exponential over ``T+V``, plus downtime, plus one recovery;
+  - **B** — no fail-stop, silent error detected by the verification
+    (prob :math:`e^{-\\lambda^f (T+V)}(1 - e^{-\\lambda^s T})`): costs
+    the full ``T+V`` plus one recovery (no downtime);
+  - **C** — no fail-stop in work+verify, no silent, fail-stop during
+    the checkpoint: costs ``T+V`` plus a truncated exponential over
+    ``C``, plus downtime, plus one recovery;
+
+* each recovery itself suffers a geometric number of fail-stop
+  interruptions (rate :math:`e^{-\\lambda^f R}` of success), each
+  costing a truncated exponential over ``R`` plus downtime.
+
+Every step above is a closed-form sample (geometric counts, inverse-CDF
+truncated exponentials) evaluated in bulk numpy arrays; per-run sums
+use ``bincount`` segment reductions.  The equivalence with the
+event-driven reference is asserted statistically in the test suite, and
+the empirical mean converges to Proposition 1 by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pattern import PatternModel
+from ..exceptions import SimulationError
+
+__all__ = ["BatchStats", "simulate_batch", "truncated_exponential"]
+
+
+def truncated_exponential(
+    rng: np.random.Generator, lam: float, window: float, size: int
+) -> np.ndarray:
+    """Sample ``Exp(lam)`` arrivals conditioned on landing inside ``window``.
+
+    Inverse-CDF form :math:`-\\log(1 - u\\,q)/\\lambda` with
+    :math:`q = 1 - e^{-\\lambda W}`, stable for tiny ``lam * window``.
+    This is the "time lost" distribution whose mean is
+    :func:`repro.core.errors.expected_time_lost`.
+    """
+    if size == 0:
+        return np.empty(0)
+    if lam <= 0.0:
+        raise SimulationError("truncated exponential needs a positive rate")
+    q = -np.expm1(-lam * window)
+    return -np.log1p(-rng.random(size) * q) / lam
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Aggregate outcome of a vectorised simulation batch.
+
+    Attributes
+    ----------
+    run_times:
+        Simulated wall-clock per run, shape ``(n_runs,)``.
+    n_patterns:
+        Patterns per run (all runs complete the same count).
+    n_attempts:
+        Total pattern attempts across all runs.
+    n_fail_stop / n_silent_detected / n_recoveries / n_downtimes:
+        Event totals across all runs (masked silent strikes are not
+        modelled here — they cost nothing; the DES reference counts
+        them for curiosity).
+    """
+
+    run_times: np.ndarray
+    n_patterns: int
+    n_attempts: int
+    n_fail_stop: int
+    n_silent_detected: int
+    n_recoveries: int
+    n_downtimes: int
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.run_times.size)
+
+    @property
+    def mean_pattern_time(self) -> float:
+        """Empirical :math:`E(T, P)` — converges to Proposition 1."""
+        return float(self.run_times.mean() / self.n_patterns)
+
+
+def simulate_batch(
+    model: PatternModel,
+    T: float,
+    P: float,
+    n_runs: int,
+    n_patterns: int,
+    rng: np.random.Generator,
+) -> BatchStats:
+    """Simulate ``n_runs`` independent runs of ``n_patterns`` patterns each.
+
+    Distribution-identical to looping :func:`repro.sim.protocol.simulate_run`,
+    about three orders of magnitude faster.
+    """
+    if T <= 0.0:
+        raise SimulationError(f"pattern period must be positive, got {T!r}")
+    if P <= 0.0:
+        raise SimulationError(f"processor count must be positive, got {P!r}")
+    if n_runs <= 0 or n_patterns <= 0:
+        raise SimulationError("n_runs and n_patterns must be positive")
+
+    lam_f = float(model.errors.fail_stop_rate(P))
+    lam_s = float(model.errors.silent_rate(P))
+    C = float(model.costs.checkpoint_cost(P))
+    R = float(model.costs.recovery_cost(P))
+    V = float(model.costs.verification_cost(P))
+    D = float(model.costs.downtime)
+    A = T + V  # the work + verification segment
+
+    p_ok_A = np.exp(-lam_f * A)
+    p_ok_S = np.exp(-lam_s * T)
+    p_ok_C = np.exp(-lam_f * C)
+    p_ok_R = np.exp(-lam_f * R)
+    p_success = p_ok_A * p_ok_S * p_ok_C
+
+    n_total = n_runs * n_patterns
+    base_time = n_patterns * (A + C)
+
+    if p_success >= 1.0:  # error-free: every attempt succeeds
+        return BatchStats(
+            run_times=np.full(n_runs, base_time),
+            n_patterns=n_patterns,
+            n_attempts=n_total,
+            n_fail_stop=0,
+            n_silent_detected=0,
+            n_recoveries=0,
+            n_downtimes=0,
+        )
+
+    # Failed attempts per pattern: geometric trials minus the success.
+    attempts = rng.geometric(p_success, size=n_total)
+    failures = attempts - 1
+    n_failures = int(failures.sum())
+    run_of_pattern = np.repeat(np.arange(n_runs), n_patterns)
+    run_of_failure = np.repeat(run_of_pattern, failures)
+
+    # Classify each failure: A (fail-stop in work+verify), B (silent
+    # detected), C (fail-stop in checkpoint) — conditional on failure.
+    q_A = -np.expm1(-lam_f * A)
+    q_B = p_ok_A * -np.expm1(-lam_s * T)
+    q_fail = 1.0 - p_success
+    u = rng.random(n_failures)
+    is_A = u < q_A / q_fail
+    is_C = u >= (q_A + q_B) / q_fail
+    is_B = ~is_A & ~is_C
+    n_A = int(is_A.sum())
+    n_B = int(is_B.sum())
+    n_C = int(is_C.sum())
+
+    cost = np.empty(n_failures)
+    if n_A:
+        cost[is_A] = truncated_exponential(rng, lam_f, A, n_A) + D
+    if n_B:
+        cost[is_B] = A
+    if n_C:
+        cost[is_C] = A + truncated_exponential(rng, lam_f, C, n_C) + D
+
+    # Every failure triggers exactly one recovery; the recovery itself
+    # is retried through a geometric number of fail-stop interruptions.
+    if lam_f > 0.0 and n_failures:
+        rec_failures = rng.geometric(p_ok_R, size=n_failures) - 1
+        n_sub = int(rec_failures.sum())
+        sub_losses = truncated_exponential(rng, lam_f, R, n_sub)
+        per_failure_loss = np.bincount(
+            np.repeat(np.arange(n_failures), rec_failures),
+            weights=sub_losses,
+            minlength=n_failures,
+        )
+        cost += R + rec_failures * D + per_failure_loss
+    else:
+        n_sub = 0
+        cost += R
+
+    run_times = base_time + np.bincount(run_of_failure, weights=cost, minlength=n_runs)
+
+    return BatchStats(
+        run_times=run_times,
+        n_patterns=n_patterns,
+        n_attempts=int(attempts.sum()),
+        n_fail_stop=n_A + n_C + n_sub,
+        n_silent_detected=n_B,
+        n_recoveries=n_failures,
+        n_downtimes=n_A + n_C + n_sub,
+    )

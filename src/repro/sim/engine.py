@@ -1,0 +1,135 @@
+"""A small discrete-event simulation kernel.
+
+Classic event-heap design: a priority queue of ``(time, sequence)``
+keys with lazy cancellation (cancelled handles are skipped on pop).
+The VC-protocol simulator schedules segment completions and failure
+arrivals against this kernel; races (a fail-stop arriving before a
+segment finishes) are resolved by timestamp with FIFO tie-breaking,
+and the loser is cancelled.
+
+The kernel is deliberately protocol-agnostic — the unit tests drive it
+with synthetic event streams, and it can host other resilience
+protocols (e.g. multi-level checkpointing extensions) without change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from ..exceptions import SimulationError
+from .events import Event, EventKind
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Chronological event queue with scheduling and cancellation.
+
+    Notes
+    -----
+    * Time is a float in seconds and never decreases.
+    * ``schedule`` returns an integer handle; ``cancel(handle)`` is O(1)
+      (lazy deletion).
+    * ``pop`` advances the clock to the next live event and returns it.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, EventKind, Any]] = []
+        self._cancelled: set[int] = set()
+        self._seq = itertools.count()
+        self._live = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, kind: EventKind, payload: Any = None) -> int:
+        """Schedule an event ``delay`` seconds from now; returns its handle."""
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        handle = next(self._seq)
+        heapq.heappush(self._heap, (self._now + delay, handle, kind, payload))
+        self._live += 1
+        return handle
+
+    def schedule_at(self, time: float, kind: EventKind, payload: Any = None) -> int:
+        """Schedule an event at an absolute timestamp."""
+        return self.schedule(time - self._now, kind, payload)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled event (no-op if it already fired)."""
+        self._cancelled.add(handle)
+
+    # -- consumption ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of scheduled-and-not-cancelled events (upper bound)."""
+        return max(self._live - len(self._cancelled), 0)
+
+    def empty(self) -> bool:
+        """True when no live event remains."""
+        return self.peek_time() is None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or None."""
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, handle, _, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(handle)
+            self._live -= 1
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Advance the clock to the next live event and return it."""
+        when = self.peek_time()
+        if when is None:
+            raise SimulationError("event queue is empty")
+        time, handle, kind, payload = heapq.heappop(self._heap)
+        self._live -= 1
+        self._now = time
+        return Event(time=time, kind=kind, payload=payload, handle=handle)
+
+    def advance(self, duration: float) -> None:
+        """Move the clock forward without an event (e.g. error-free downtime).
+
+        Raises if a live event would fire inside the skipped window —
+        that would reorder history.
+        """
+        if duration < 0.0:
+            raise SimulationError(f"cannot advance by a negative duration ({duration!r})")
+        when = self.peek_time()
+        target = self._now + duration
+        if when is not None and when < target:
+            raise SimulationError(
+                f"advance({duration}) would skip an event scheduled at t={when}"
+            )
+        self._now = target
+
+    # -- driving ----------------------------------------------------------
+
+    def run(
+        self,
+        handler: Callable[[Event], bool],
+        max_events: int = 10_000_000,
+    ) -> int:
+        """Pop events into ``handler`` until it returns False or queue empties.
+
+        Returns the number of events processed.  ``max_events`` guards
+        against runaway protocols.
+        """
+        processed = 0
+        while not self.empty():
+            if processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            if not handler(self.pop()):
+                processed += 1
+                break
+            processed += 1
+        return processed

@@ -1,0 +1,51 @@
+"""Event vocabulary for the discrete-event simulator.
+
+The VC-protocol simulation needs only a handful of event kinds, but the
+engine itself (:mod:`repro.sim.engine`) is generic: events are opaque
+``(kind, payload)`` pairs ordered by timestamp with FIFO tie-breaking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.Enum):
+    """What happened at a simulation timestamp."""
+
+    #: A protocol segment (work+verification, checkpoint, recovery,
+    #: downtime) ran to completion without interruption.
+    SEGMENT_END = "segment-end"
+    #: A fail-stop error struck the platform.
+    FAIL_STOP = "fail-stop"
+    #: A silent error struck a computation (detected only at the next
+    #: verification).
+    SILENT = "silent"
+    #: Generic user event for engine tests / other protocols.
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class Event:
+    """An occurrence at an instant of simulated time.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation timestamp (seconds).
+    kind:
+        The event's :class:`EventKind`.
+    payload:
+        Arbitrary attached data (e.g. which segment completed).
+    handle:
+        The scheduling handle, usable for identity checks.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = field(default=None, compare=False)
+    handle: int = field(default=-1, compare=False)

@@ -1,0 +1,269 @@
+"""Reference discrete-event simulation of the VC protocol.
+
+This is the *legible specification* of the protocol of Section II,
+driven event-by-event on the :class:`~repro.sim.engine.EventEngine`:
+
+* each pattern attempt runs a **work + verification** segment of length
+  ``T + V_P``, then a **checkpoint** segment of length ``C_P``;
+* fail-stop errors arrive as a Poisson process of rate
+  :math:`\\lambda^f_P` and interrupt any segment (work, verification,
+  checkpoint, recovery) immediately — the platform then pays the
+  constant downtime ``D`` (error-free by assumption) and a **recovery**
+  segment ``R_P``, itself interruptible, before re-executing the
+  pattern from the last verified checkpoint;
+* silent errors arrive at rate :math:`\\lambda^s_P` but only during the
+  computation part ``T``; they do not interrupt — they are *detected*
+  by the verification at the end of the segment, which triggers a
+  recovery (no downtime: the processors are alive) and re-execution.
+  A silent error masked by a later fail-stop in the same attempt needs
+  no detection since the attempt is discarded anyway;
+* the exponential inter-arrival clocks are resampled per segment,
+  which is distribution-identical to a persistent Poisson stream by
+  memorylessness (and keeps downtime windows error-free for free).
+
+The vectorised sampler in :mod:`repro.sim.batch` reproduces the same
+distribution about three orders of magnitude faster; the test suite
+holds the two against each other and against Proposition 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.pattern import PatternModel
+from ..exceptions import SimulationError
+from .engine import EventEngine
+from .events import EventKind
+from .trace import Trace, TraceEventKind
+
+__all__ = ["RunStats", "TimeBreakdown", "simulate_run"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Where the simulated time went, by protocol activity (seconds)."""
+
+    useful_work: float = 0.0  #: work of successfully completed segments
+    wasted_work: float = 0.0  #: work re-executed or cut short by errors
+    verification: float = 0.0  #: completed verifications
+    checkpoint: float = 0.0  #: completed checkpoints
+    recovery: float = 0.0  #: completed recoveries
+    downtime: float = 0.0  #: downtime after fail-stop errors
+    lost: float = 0.0  #: partial segments destroyed by fail-stop errors
+
+    @property
+    def total(self) -> float:
+        return (
+            self.useful_work
+            + self.wasted_work
+            + self.verification
+            + self.checkpoint
+            + self.recovery
+            + self.downtime
+            + self.lost
+        )
+
+
+@dataclass
+class RunStats:
+    """Statistics of one simulated run (a sequence of patterns).
+
+    ``total_time / (n_patterns * T * S(P))`` is the paper's simulated
+    execution overhead; :func:`repro.sim.results.overhead_estimate`
+    aggregates it across runs.
+    """
+
+    total_time: float
+    n_patterns: int
+    n_attempts: int
+    n_fail_stop: int
+    n_silent_struck: int
+    n_silent_detected: int
+    n_recoveries: int
+    n_downtimes: int
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+
+class _ProtocolRun:
+    """Mutable state of one VC-protocol run on the event engine."""
+
+    def __init__(
+        self,
+        model: PatternModel,
+        T: float,
+        P: float,
+        rng: np.random.Generator,
+        trace: Trace | None = None,
+    ) -> None:
+        if T <= 0.0:
+            raise SimulationError(f"pattern period must be positive, got {T!r}")
+        if P <= 0.0:
+            raise SimulationError(f"processor count must be positive, got {P!r}")
+        self.engine = EventEngine()
+        self.rng = rng
+        self.trace = trace
+        self.T = float(T)
+        self.lam_f = float(model.errors.fail_stop_rate(P))
+        self.lam_s = float(model.errors.silent_rate(P))
+        self.C = float(model.costs.checkpoint_cost(P))
+        self.R = float(model.costs.recovery_cost(P))
+        self.V = float(model.costs.verification_cost(P))
+        self.D = float(model.costs.downtime)
+        self.stats = RunStats(
+            total_time=0.0,
+            n_patterns=0,
+            n_attempts=0,
+            n_fail_stop=0,
+            n_silent_struck=0,
+            n_silent_detected=0,
+            n_recoveries=0,
+            n_downtimes=0,
+        )
+
+    # -- primitives -----------------------------------------------------
+
+    def _record(self, kind: TraceEventKind, detail: str = "") -> None:
+        if self.trace is not None:
+            self.trace.record(self.engine.now, kind, detail)
+
+    def _run_segment(self, duration: float, label: str) -> float | None:
+        """Execute one interruptible segment.
+
+        Returns ``None`` on clean completion, or the elapsed time at
+        which a fail-stop error struck.  The engine clock advances to
+        the completion / interruption instant either way.
+        """
+        start = self.engine.now
+        end_handle = self.engine.schedule(duration, EventKind.SEGMENT_END, label)
+        fail_handle = None
+        if self.lam_f > 0.0:
+            arrival = self.rng.exponential(1.0 / self.lam_f)
+            if arrival < duration:
+                fail_handle = self.engine.schedule(arrival, EventKind.FAIL_STOP, label)
+        event = self.engine.pop()
+        if event.kind is EventKind.FAIL_STOP:
+            self.engine.cancel(end_handle)
+            self.stats.n_fail_stop += 1
+            self._record(TraceEventKind.FAIL_STOP, f"during {label}")
+            return event.time - start
+        if fail_handle is not None:
+            self.engine.cancel(fail_handle)
+        return None
+
+    def _downtime(self) -> None:
+        """Pay the constant downtime D (no errors strike during it)."""
+        self.engine.advance(self.D)
+        self.stats.n_downtimes += 1
+        self.stats.breakdown.downtime += self.D
+        self._record(TraceEventKind.DOWNTIME)
+
+    def _recover(self) -> None:
+        """Complete one recovery, retrying through fail-stop errors."""
+        while True:
+            failed_at = self._run_segment(self.R, "recovery")
+            if failed_at is None:
+                self.stats.n_recoveries += 1
+                self.stats.breakdown.recovery += self.R
+                self._record(TraceEventKind.RECOVERY_DONE)
+                return
+            self.stats.breakdown.lost += failed_at
+            self._downtime()
+
+    def _silent_struck_within(self, computed: float) -> bool:
+        """Did a silent error strike within ``computed`` seconds of work?"""
+        if self.lam_s <= 0.0 or computed <= 0.0:
+            return False
+        arrival = self.rng.exponential(1.0 / self.lam_s)
+        return arrival < computed
+
+    # -- pattern loop -----------------------------------------------------
+
+    def run_pattern(self) -> None:
+        """Execute one pattern to successful (verified) checkpoint."""
+        self._record(
+            TraceEventKind.PATTERN_START, f"pattern {self.stats.n_patterns + 1}"
+        )
+        while True:
+            self.stats.n_attempts += 1
+            self._record(
+                TraceEventKind.SEGMENT_START, f"attempt {self.stats.n_attempts}"
+            )
+            # Work + verification segment.
+            failed_at = self._run_segment(self.T + self.V, "work+verify")
+            if failed_at is not None:
+                # A silent error may have struck the computed prefix; it
+                # is masked by the fail-stop error but counted for stats.
+                if self._silent_struck_within(min(failed_at, self.T)):
+                    self.stats.n_silent_struck += 1
+                self.stats.breakdown.lost += failed_at
+                self._downtime()
+                self._recover()
+                continue
+            # Segment completed: the verification now rules on silent errors.
+            if self._silent_struck_within(self.T):
+                self.stats.n_silent_struck += 1
+                self.stats.n_silent_detected += 1
+                self._record(TraceEventKind.SILENT_DETECTED, "at verification")
+                self.stats.breakdown.wasted_work += self.T
+                self.stats.breakdown.verification += self.V
+                self._recover()
+                continue
+            # Checkpoint segment.
+            failed_at = self._run_segment(self.C, "checkpoint")
+            if failed_at is not None:
+                self.stats.breakdown.wasted_work += self.T
+                self.stats.breakdown.verification += self.V
+                self.stats.breakdown.lost += failed_at
+                self._downtime()
+                self._recover()
+                continue
+            self.stats.n_patterns += 1
+            self.stats.breakdown.useful_work += self.T
+            self.stats.breakdown.verification += self.V
+            self.stats.breakdown.checkpoint += self.C
+            self._record(TraceEventKind.CHECKPOINT_DONE)
+            self._record(TraceEventKind.PATTERN_DONE, f"pattern {self.stats.n_patterns}")
+            return
+
+
+def simulate_run(
+    model: PatternModel,
+    T: float,
+    P: float,
+    n_patterns: int,
+    rng: np.random.Generator,
+    trace: Trace | None = None,
+) -> RunStats:
+    """Simulate ``n_patterns`` consecutive patterns of the VC protocol.
+
+    Parameters
+    ----------
+    model:
+        Platform/application bundle (only errors and costs are used —
+        overhead normalisation happens in :mod:`repro.sim.results`).
+    T, P:
+        The pattern parameters under test.
+    n_patterns:
+        Number of successful patterns to complete (the paper uses
+        >= 500 per run).
+    rng:
+        Run-private generator (see :func:`repro.sim.rng.spawn_rngs`).
+    trace:
+        Optional :class:`~repro.sim.trace.Trace` receiving a
+        timestamped event log of the run (costs nothing when omitted).
+
+    Returns
+    -------
+    RunStats
+        Counters plus a full time breakdown; ``total_time`` is the
+        simulated wall-clock for the whole run.
+    """
+    if n_patterns <= 0:
+        raise SimulationError(f"n_patterns must be positive, got {n_patterns!r}")
+    run = _ProtocolRun(model, T, P, rng, trace=trace)
+    for _ in range(n_patterns):
+        run.run_pattern()
+    run.stats.total_time = run.engine.now
+    return run.stats

@@ -1,0 +1,92 @@
+"""Execution traces of the event-driven simulator.
+
+For debugging protocols and for teaching (see
+``examples/simulator_tour.py``), the reference simulator can record a
+timestamped trace of everything that happens: pattern attempts,
+fail-stop strikes, silent detections, downtimes, recoveries,
+checkpoints.  Traces are plain data — render with :func:`format_trace`
+or post-process freely.
+
+Recording is opt-in (pass ``trace=Trace()`` to
+:func:`repro.sim.protocol.simulate_run`) and costs nothing when off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["TraceEventKind", "TraceEvent", "Trace", "format_trace"]
+
+
+class TraceEventKind(enum.Enum):
+    """What a trace entry records."""
+
+    PATTERN_START = "pattern-start"
+    SEGMENT_START = "segment-start"
+    FAIL_STOP = "fail-stop"
+    SILENT_DETECTED = "silent-detected"
+    DOWNTIME = "downtime"
+    RECOVERY_DONE = "recovery-done"
+    CHECKPOINT_DONE = "checkpoint-done"
+    PATTERN_DONE = "pattern-done"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped protocol occurrence."""
+
+    time: float
+    kind: TraceEventKind
+    detail: str = ""
+
+
+@dataclass
+class Trace:
+    """An append-only event log with small query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, time: float, kind: TraceEventKind, detail: str = "") -> None:
+        self.events.append(TraceEvent(time=time, kind=kind, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def count(self, kind: TraceEventKind) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def of_kind(self, kind: TraceEventKind) -> list[TraceEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with ``start <= time < end``."""
+        return [e for e in self.events if start <= e.time < end]
+
+    @property
+    def makespan(self) -> float:
+        """Timestamp of the last event (0 for an empty trace)."""
+        return self.events[-1].time if self.events else 0.0
+
+
+def format_trace(trace: Trace | Iterable[TraceEvent], limit: int | None = None) -> str:
+    """Human-readable rendition, one line per event.
+
+    >>> t = Trace()
+    >>> t.record(0.0, TraceEventKind.PATTERN_START, "pattern 1")
+    >>> print(format_trace(t))
+    t=       0.0s  pattern-start    pattern 1
+    """
+    events = list(trace)
+    if limit is not None:
+        events = events[:limit]
+    lines = [
+        f"t={e.time:10.1f}s  {e.kind.value:<16} {e.detail}".rstrip() for e in events
+    ]
+    return "\n".join(lines)

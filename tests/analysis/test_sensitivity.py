@@ -1,0 +1,71 @@
+"""Robustness curves and the first-order gap (Figure 3c quantity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    first_order_gap,
+    period_robustness,
+    processor_robustness,
+)
+from repro.exceptions import InvalidParameterError
+from repro.optimize.allocation import optimize_allocation
+
+
+class TestPeriodRobustness:
+    def test_optimum_has_unit_penalty(self, hera_sc1):
+        curve = period_robustness(hera_sc1, P=256.0)
+        assert curve.penalty_at(1.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_penalties_at_least_one(self, hera_sc1):
+        curve = period_robustness(hera_sc1, P=256.0)
+        assert np.all(curve.penalties >= 1.0 - 1e-12)
+
+    def test_young_daly_flatness_folklore(self, hera_sc1):
+        # Missing T* by 2x costs only a few percent of overhead.
+        curve = period_robustness(hera_sc1, P=256.0, factors=np.array([0.5, 1.0, 2.0]))
+        assert curve.worst() < 1.05
+
+    def test_u_shape(self, hera_sc1):
+        curve = period_robustness(hera_sc1, P=256.0)
+        mid = curve.penalties.size // 2
+        assert curve.penalties[0] > curve.penalties[mid]
+        assert curve.penalties[-1] > curve.penalties[mid]
+
+    def test_rejects_bad_factors(self, hera_sc1):
+        with pytest.raises(InvalidParameterError):
+            period_robustness(hera_sc1, 256.0, factors=np.array([0.0, 1.0]))
+
+
+class TestProcessorRobustness:
+    def test_optimum_has_unit_penalty(self, hera_sc1):
+        P_opt = optimize_allocation(hera_sc1).processors
+        curve = processor_robustness(hera_sc1, P_opt, factors=np.array([0.8, 1.0, 1.25]))
+        assert curve.penalty_at(1.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_even_flatter_than_period(self, hera_sc1):
+        # The P-optimum is extremely flat: 25% mis-allocation costs <1%.
+        P_opt = optimize_allocation(hera_sc1).processors
+        curve = processor_robustness(hera_sc1, P_opt, factors=np.array([0.8, 1.25]))
+        assert curve.worst() < 1.01
+
+    def test_rejects_bad_p(self, hera_sc1):
+        with pytest.raises(InvalidParameterError):
+            processor_robustness(hera_sc1, -5.0)
+
+
+class TestFirstOrderGap:
+    def test_nonnegative(self, hera_sc1):
+        assert first_order_gap(hera_sc1, 256.0) >= 0.0
+
+    def test_within_paper_bound_on_hera(self, hera_sc1, hera_sc3, hera_sc5):
+        # Figure 3(c): < 0.2 percentage points over the plotted range.
+        for model in (hera_sc1, hera_sc3, hera_sc5):
+            for P in (200.0, 800.0, 1400.0):
+                assert first_order_gap(model, P) < 0.002
+
+    def test_grows_with_processor_count(self, hera_sc1):
+        # More processors -> higher rates -> worse truncation.
+        assert first_order_gap(hera_sc1, 1400.0) > first_order_gap(hera_sc1, 200.0)

@@ -1,0 +1,38 @@
+"""Error-free baseline model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ErrorFreeModel
+from repro.core import AmdahlSpeedup
+from repro.exceptions import InvalidParameterError
+
+
+class TestErrorFree:
+    def test_overhead_is_pure_speedup(self):
+        m = ErrorFreeModel(AmdahlSpeedup(0.1))
+        assert m.overhead(100) == pytest.approx(0.1 + 0.9 / 100)
+
+    def test_makespan(self):
+        m = ErrorFreeModel(AmdahlSpeedup(0.1))
+        assert m.makespan(1e6, 9) == pytest.approx(1e6 / 5.0)
+
+    def test_makespan_vectorised(self):
+        m = ErrorFreeModel(AmdahlSpeedup(0.0))
+        out = m.makespan(100.0, np.array([1.0, 2.0, 4.0]))
+        np.testing.assert_allclose(out, [100.0, 50.0, 25.0])
+
+    def test_optimal_processors_unbounded(self):
+        # The paper's premise: without failures, always enroll more.
+        assert ErrorFreeModel(AmdahlSpeedup(0.1)).optimal_processors() == np.inf
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorFreeModel(AmdahlSpeedup(0.1)).makespan(0.0, 10)
+
+    def test_is_floor_for_resilient_execution(self, hera_sc1):
+        ef = ErrorFreeModel(hera_sc1.speedup)
+        P = 256.0
+        assert hera_sc1.overhead(6000.0, P) > ef.overhead(P)

@@ -1,0 +1,165 @@
+"""Cost models C_P = a + b/P + cP and V_P = v + u/P, plus regime algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (
+    CheckpointCost,
+    CostRegime,
+    ResilienceCosts,
+    VerificationCost,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestCheckpointCost:
+    def test_general_form(self):
+        c = CheckpointCost(a=10.0, b=100.0, c=0.5)
+        assert c(10) == pytest.approx(10.0 + 10.0 + 5.0)
+
+    def test_constant_constructor(self):
+        c = CheckpointCost.constant(300.0)
+        assert c(1) == c(1e6) == 300.0
+
+    def test_linear_constructor(self):
+        c = CheckpointCost.linear(0.5)
+        assert c(512) == pytest.approx(256.0)
+
+    def test_scaling_constructor(self):
+        c = CheckpointCost.scaling(1024.0)
+        assert c(256) == pytest.approx(4.0)
+        assert c(1024) == pytest.approx(1.0)
+
+    def test_vectorised(self):
+        c = CheckpointCost(a=1.0, b=10.0, c=0.1)
+        P = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(c(P), [11.1, 3.0, 11.1])
+
+    def test_derivative_matches_numeric(self):
+        c = CheckpointCost(a=5.0, b=50.0, c=0.2)
+        P = 23.0
+        eps = 1e-5
+        numeric = (c(P + eps) - c(P - eps)) / (2 * eps)
+        assert c.derivative(P) == pytest.approx(numeric, rel=1e-6)
+
+    def test_is_zero(self):
+        assert CheckpointCost().is_zero
+        assert not CheckpointCost(a=1.0).is_zero
+
+    @pytest.mark.parametrize("kwargs", [{"a": -1.0}, {"b": -0.1}, {"c": float("inf")}])
+    def test_rejects_bad_coefficients(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            CheckpointCost(**kwargs)
+
+    def test_rejects_nonpositive_processors(self):
+        with pytest.raises(InvalidParameterError):
+            CheckpointCost(a=1.0)(0)
+
+
+class TestVerificationCost:
+    def test_general_form(self):
+        v = VerificationCost(v=2.0, u=100.0)
+        assert v(50) == pytest.approx(4.0)
+
+    def test_constant(self):
+        assert VerificationCost.constant(15.4)(999) == pytest.approx(15.4)
+
+    def test_scaling(self):
+        assert VerificationCost.scaling(512.0)(512) == pytest.approx(1.0)
+
+    def test_derivative(self):
+        v = VerificationCost(v=1.0, u=64.0)
+        assert v.derivative(8) == pytest.approx(-1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            VerificationCost(v=-1.0)
+
+
+class TestResilienceCosts:
+    def test_recovery_defaults_to_checkpoint(self):
+        rc = ResilienceCosts(checkpoint=CheckpointCost.constant(100.0))
+        assert rc.recovery_cost(64) == rc.checkpoint_cost(64) == 100.0
+
+    def test_independent_recovery_model(self):
+        rc = ResilienceCosts(
+            checkpoint=CheckpointCost.constant(100.0),
+            recovery=CheckpointCost.constant(40.0),
+        )
+        assert rc.recovery_cost(64) == 40.0
+        assert rc.checkpoint_cost(64) == 100.0
+
+    def test_combined_cost(self):
+        rc = ResilienceCosts(
+            checkpoint=CheckpointCost.constant(100.0),
+            verification=VerificationCost.constant(25.0),
+        )
+        assert rc.combined_cost(10) == pytest.approx(125.0)
+
+    def test_simple_constructor(self):
+        rc = ResilienceCosts.simple(checkpoint=60.0, verification=5.0, downtime=30.0)
+        assert rc.checkpoint_cost(99) == 60.0
+        assert rc.verification_cost(99) == 5.0
+        assert rc.downtime == 30.0
+
+    def test_with_downtime_copy(self):
+        rc = ResilienceCosts.simple(checkpoint=60.0)
+        rc2 = rc.with_downtime(999.0)
+        assert rc2.downtime == 999.0
+        assert rc.downtime == 0.0  # original untouched
+        assert rc2.checkpoint is rc.checkpoint
+
+    def test_rejects_negative_downtime(self):
+        with pytest.raises(InvalidParameterError):
+            ResilienceCosts.simple(checkpoint=1.0, downtime=-5.0)
+
+
+class TestRegimes:
+    def test_linear_regime(self):
+        rc = ResilienceCosts(
+            checkpoint=CheckpointCost(a=10.0, c=0.5),
+            verification=VerificationCost.constant(1.0),
+        )
+        assert rc.regime is CostRegime.LINEAR
+        assert rc.c == 0.5
+
+    def test_constant_regime(self):
+        rc = ResilienceCosts(
+            checkpoint=CheckpointCost.constant(100.0),
+            verification=VerificationCost.constant(25.0),
+        )
+        assert rc.regime is CostRegime.CONSTANT
+        assert rc.d == 125.0
+
+    def test_constant_regime_via_verification_only(self):
+        # Scenario 5: checkpoint decays but the constant verification
+        # keeps the combined cost bounded away from zero.
+        rc = ResilienceCosts(
+            checkpoint=CheckpointCost.scaling(1000.0),
+            verification=VerificationCost.constant(15.0),
+        )
+        assert rc.regime is CostRegime.CONSTANT
+        assert rc.d == 15.0
+        assert rc.h == 1000.0
+
+    def test_decaying_regime(self):
+        rc = ResilienceCosts(
+            checkpoint=CheckpointCost.scaling(1000.0),
+            verification=VerificationCost.scaling(100.0),
+        )
+        assert rc.regime is CostRegime.DECAYING
+        assert rc.h == 1100.0
+
+    def test_free_regime(self):
+        rc = ResilienceCosts(checkpoint=CheckpointCost())
+        assert rc.regime is CostRegime.FREE
+
+    def test_regime_coefficients_sum_to_combined(self):
+        rc = ResilienceCosts(
+            checkpoint=CheckpointCost(a=10.0, b=100.0, c=0.5),
+            verification=VerificationCost(v=2.0, u=50.0),
+        )
+        P = 37.0
+        assert rc.combined_cost(P) == pytest.approx(rc.c * P + rc.d + rc.h / P)

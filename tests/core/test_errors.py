@@ -1,0 +1,154 @@
+"""Error model: rate splitting, probabilities, expected time lost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ErrorModel, expected_time_lost
+from repro.exceptions import InvalidParameterError
+from repro.units import years
+
+
+class TestRates:
+    def test_rate_split(self):
+        m = ErrorModel(lambda_ind=1e-8, fail_stop_fraction=0.25)
+        assert m.fail_stop_rate(100) == pytest.approx(0.25e-6)
+        assert m.silent_rate(100) == pytest.approx(0.75e-6)
+
+    def test_rates_sum_to_total(self):
+        m = ErrorModel(lambda_ind=3e-9, fail_stop_fraction=0.1667)
+        P = 2048
+        assert m.fail_stop_rate(P) + m.silent_rate(P) == pytest.approx(m.total_rate(P))
+
+    def test_rates_scale_linearly_with_p(self):
+        # Proposition 1.2 of [13]: platform rate is P times individual rate.
+        m = ErrorModel(lambda_ind=1e-8, fail_stop_fraction=0.5)
+        assert m.total_rate(1000) == pytest.approx(1000 * m.total_rate(1))
+
+    def test_platform_mtbf(self):
+        m = ErrorModel(lambda_ind=1e-6, fail_stop_fraction=0.5)
+        assert m.platform_mtbf(100) == pytest.approx(1e4)
+
+    def test_platform_mtbf_zero_rate(self):
+        m = ErrorModel(lambda_ind=0.0, fail_stop_fraction=0.5)
+        assert m.platform_mtbf(100) == np.inf
+
+    def test_mtbf_ind_years(self):
+        m = ErrorModel.from_mtbf(years(100), fail_stop_fraction=0.2)
+        assert m.mtbf_ind_years == pytest.approx(100.0)
+
+    def test_f_and_s_shorthand(self):
+        m = ErrorModel(lambda_ind=1e-8, fail_stop_fraction=0.2188)
+        assert m.f == 0.2188
+        assert m.s == pytest.approx(0.7812)
+
+    def test_effective_lambda(self):
+        # L = (f/2 + s) lambda_ind — the Theorem 2/3 rate.
+        m = ErrorModel(lambda_ind=2e-8, fail_stop_fraction=0.5)
+        assert m.effective_lambda == pytest.approx((0.25 + 0.5) * 2e-8)
+
+    def test_effective_lambda_bounds(self):
+        # L ranges between lambda/2 (all fail-stop) and lambda (all silent).
+        fs = ErrorModel.fail_stop_only(1e-8)
+        silent = ErrorModel.silent_only(1e-8)
+        assert fs.effective_lambda == pytest.approx(0.5e-8)
+        assert silent.effective_lambda == pytest.approx(1e-8)
+
+    def test_vectorised_over_p(self):
+        m = ErrorModel(lambda_ind=1e-8, fail_stop_fraction=0.5)
+        P = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(m.fail_stop_rate(P), 0.5e-8 * P)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lambda_ind": -1e-9, "fail_stop_fraction": 0.5},
+        {"lambda_ind": 1e-9, "fail_stop_fraction": 1.5},
+        {"lambda_ind": float("nan"), "fail_stop_fraction": 0.5},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ErrorModel(**kwargs)
+
+    def test_with_lambda_copy(self):
+        m = ErrorModel(lambda_ind=1e-8, fail_stop_fraction=0.3)
+        m2 = m.with_lambda(1e-10)
+        assert m2.lambda_ind == 1e-10
+        assert m2.fail_stop_fraction == 0.3
+        assert m.lambda_ind == 1e-8
+
+
+class TestProbabilities:
+    def test_p_fail_stop_formula(self):
+        m = ErrorModel(lambda_ind=1e-6, fail_stop_fraction=1.0)
+        P, W = 100, 5000.0
+        assert m.p_fail_stop(P, W) == pytest.approx(1.0 - np.exp(-1e-4 * W))
+
+    def test_p_silent_zero_when_all_fail_stop(self):
+        m = ErrorModel.fail_stop_only(1e-6)
+        assert m.p_silent(100, 1e6) == 0.0
+
+    def test_probabilities_in_unit_interval(self):
+        m = ErrorModel(lambda_ind=1e-5, fail_stop_fraction=0.4)
+        for W in (1.0, 1e3, 1e9):
+            assert 0.0 <= m.p_fail_stop(10, W) <= 1.0
+            assert 0.0 <= m.p_silent(10, W) <= 1.0
+
+    def test_probability_increases_with_window(self):
+        m = ErrorModel(lambda_ind=1e-6, fail_stop_fraction=0.5)
+        assert m.p_fail_stop(10, 2000.0) > m.p_fail_stop(10, 1000.0)
+
+    def test_tiny_window_linearises(self):
+        # q(W) ~ lambda W for small windows (expm1 precision check).
+        m = ErrorModel(lambda_ind=1e-12, fail_stop_fraction=1.0)
+        W = 1.0
+        assert m.p_fail_stop(1, W) == pytest.approx(1e-12, rel=1e-6)
+
+
+class TestExpectedTimeLost:
+    def test_zero_rate_limit_is_half_window(self):
+        # Conditioned on an error in [0, W] with lambda -> 0, the strike
+        # time is uniform: mean W/2.
+        assert expected_time_lost(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_tiny_rate_limit(self):
+        assert expected_time_lost(1e-15, 100.0) == pytest.approx(50.0, rel=1e-6)
+
+    def test_closed_form(self):
+        lam, W = 0.01, 200.0
+        expected = 1.0 / lam - W / np.expm1(lam * W)
+        assert expected_time_lost(lam, W) == pytest.approx(expected)
+
+    def test_bounded_above_by_half_window(self):
+        # The conditional strike time is stochastically earlier than
+        # uniform, so E_lost <= W/2, approaching W/2 as lambda -> 0.
+        for lam, W in [(1e-3, 100.0), (0.1, 50.0), (1.0, 10.0)]:
+            val = expected_time_lost(lam, W)
+            assert 0.0 < val <= W / 2
+
+    def test_decreases_with_rate(self):
+        # Higher rates concentrate the conditional strike earlier in the
+        # window, so the expected time lost decreases with lambda.
+        W = 100.0
+        assert expected_time_lost(0.001, W) > expected_time_lost(0.1, W)
+
+    def test_matches_montecarlo(self):
+        rng = np.random.default_rng(7)
+        lam, W = 0.02, 80.0
+        samples = rng.exponential(1.0 / lam, size=400_000)
+        conditional = samples[samples < W]
+        assert expected_time_lost(lam, W) == pytest.approx(
+            conditional.mean(), rel=5e-3
+        )
+
+    def test_vectorised(self):
+        out = expected_time_lost(np.array([0.0, 0.01]), np.array([10.0, 100.0]))
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(5.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(InvalidParameterError):
+            expected_time_lost(-0.1, 10.0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(InvalidParameterError):
+            expected_time_lost(0.1, -10.0)

@@ -1,0 +1,351 @@
+"""Theorems 1-3 and the degenerate cases of Section III-D.
+
+Beyond literal formula checks, the tests verify the *optimality* claims:
+T*_P minimises the expanded overhead, P* minimises H(T*_P, P), and the
+closed forms converge to the numerical optimum as lambda_ind -> 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AmdahlSpeedup,
+    CheckpointCost,
+    CostRegime,
+    ErrorModel,
+    GustafsonSpeedup,
+    PatternModel,
+    ResilienceCosts,
+    VerificationCost,
+    asymptotic_orders,
+    case3_overhead,
+    case4_overhead,
+    optimal_pattern,
+    optimal_period,
+    overhead_at_optimal_period,
+    theorem2_solution,
+    theorem3_solution,
+)
+from repro.exceptions import ValidityError
+
+
+class TestTheorem1:
+    def test_formula(self, simple_model):
+        P = 100
+        lam = (
+            simple_model.errors.fail_stop_rate(P) / 2.0
+            + simple_model.errors.silent_rate(P)
+        )
+        expected = np.sqrt(simple_model.costs.combined_cost(P) / lam)
+        assert optimal_period(P, simple_model.errors, simple_model.costs) == pytest.approx(
+            expected
+        )
+
+    def test_reduces_to_young_without_silent_errors(self):
+        # f = 1, V = 0: T* = sqrt(2 C / lambda_f) = Young with mu = 1/lambda_f.
+        errors = ErrorModel.fail_stop_only(1e-7)
+        costs = ResilienceCosts.simple(checkpoint=120.0)
+        P = 64
+        lam_f = errors.fail_stop_rate(P)
+        assert optimal_period(P, errors, costs) == pytest.approx(
+            np.sqrt(2.0 * 120.0 / lam_f)
+        )
+
+    def test_silent_only_variant(self):
+        # f = 0: T* = sqrt((V + C)/lambda_s).
+        errors = ErrorModel.silent_only(1e-7)
+        costs = ResilienceCosts.simple(checkpoint=100.0, verification=20.0)
+        P = 64
+        lam_s = errors.silent_rate(P)
+        assert optimal_period(P, errors, costs) == pytest.approx(np.sqrt(120.0 / lam_s))
+
+    def test_minimises_expanded_overhead(self, simple_model):
+        # T* is the exact argmin of (V+C)/T + (lam_f/2 + lam_s) T.
+        P = 100
+        T_star = optimal_period(P, simple_model.errors, simple_model.costs)
+        lam = (
+            simple_model.errors.fail_stop_rate(P) / 2.0
+            + simple_model.errors.silent_rate(P)
+        )
+        cost = simple_model.costs.combined_cost(P)
+
+        def expanded(T):
+            return cost / T + lam * T
+
+        assert expanded(T_star) < expanded(T_star * 1.01)
+        assert expanded(T_star) < expanded(T_star * 0.99)
+
+    def test_near_optimal_on_exact_objective(self, hera_sc1):
+        # On the real platform the first-order period is within 0.1% of
+        # the exact optimum's overhead.
+        from repro.optimize import optimize_period
+
+        P = 256.0
+        T_fo = optimal_period(P, hera_sc1.errors, hera_sc1.costs)
+        H_fo = hera_sc1.overhead(T_fo, P)
+        H_opt = optimize_period(hera_sc1, P).overhead
+        assert (H_fo - H_opt) / H_opt < 1e-3
+
+    def test_vectorised_over_p(self, hera_sc1):
+        P = np.array([128.0, 512.0, 1024.0])
+        T = optimal_period(P, hera_sc1.errors, hera_sc1.costs)
+        assert T.shape == (3,)
+        for i, p in enumerate(P):
+            assert T[i] == pytest.approx(
+                optimal_period(float(p), hera_sc1.errors, hera_sc1.costs)
+            )
+
+    def test_flat_in_p_for_pure_linear_costs(self):
+        # With C_P = cP and no verification, T* = sqrt(c/L) exactly,
+        # independent of P (the paper's scenario-1 asymptote).
+        errors = ErrorModel(lambda_ind=1e-8, fail_stop_fraction=0.25)
+        costs = ResilienceCosts(checkpoint=CheckpointCost.linear(0.5))
+        T = optimal_period(np.array([64.0, 1024.0, 65536.0]), errors, costs)
+        assert T[0] == pytest.approx(T[2])
+
+    def test_period_decreases_with_p_for_constant_costs(self, hera_sc3):
+        P = np.array([128.0, 512.0, 1024.0])
+        T = optimal_period(P, hera_sc3.errors, hera_sc3.costs)
+        assert T[0] > T[1] > T[2]
+
+    def test_overhead_at_optimal_period_formula(self, hera_sc1):
+        P = 300.0
+        lam = (
+            hera_sc1.errors.fail_stop_rate(P) / 2.0 + hera_sc1.errors.silent_rate(P)
+        )
+        expected = hera_sc1.speedup.overhead(P) * (
+            1.0 + 2.0 * np.sqrt(lam * hera_sc1.costs.combined_cost(P))
+        )
+        assert overhead_at_optimal_period(P, hera_sc1) == pytest.approx(expected)
+
+    def test_raises_on_error_free_platform(self):
+        errors = ErrorModel(lambda_ind=0.0, fail_stop_fraction=0.5)
+        costs = ResilienceCosts.simple(checkpoint=10.0)
+        with pytest.raises(ValidityError):
+            optimal_period(10, errors, costs)
+
+
+class TestTheorem2:
+    def test_formulas(self, linear_cost_model):
+        sol = theorem2_solution(linear_cost_model)
+        alpha = 0.1
+        c = linear_cost_model.costs.c
+        L = linear_cost_model.errors.effective_lambda
+        assert sol.processors == pytest.approx(
+            (1.0 / (c * L)) ** 0.25 * ((1 - alpha) / (2 * alpha)) ** 0.5
+        )
+        assert sol.period == pytest.approx((c / L) ** 0.5)
+        assert sol.overhead == pytest.approx(
+            alpha + 2.0 * (4 * alpha**2 * (1 - alpha) ** 2 * c * L) ** 0.25
+        )
+        assert sol.theorem == "theorem-2"
+        assert sol.regime is CostRegime.LINEAR
+
+    def test_period_consistent_with_theorem1(self, linear_cost_model):
+        # Substituting P* into Theorem 1 must give the same T*.
+        sol = theorem2_solution(linear_cost_model)
+        T1 = optimal_period(
+            sol.processors, linear_cost_model.errors, linear_cost_model.costs
+        )
+        # Scenario-1-style costs include the o(P) verification constant
+        # (v / (c P*) ~ 11% here), so agreement is to first order only.
+        assert T1 == pytest.approx(sol.period, rel=0.15)
+
+    def test_p_star_minimises_overhead_curve(self, linear_cost_model):
+        sol = theorem2_solution(linear_cost_model)
+        alpha, c = 0.1, linear_cost_model.costs.c
+        L = linear_cost_model.errors.effective_lambda
+
+        def H(P):
+            return alpha + 2 * alpha * P * np.sqrt(c * L) + (1 - alpha) / P
+
+        assert H(sol.processors) <= H(sol.processors * 1.01)
+        assert H(sol.processors) <= H(sol.processors * 0.99)
+
+    def test_orders_in_lambda(self):
+        # P* ~ lambda^-1/4 and T* ~ lambda^-1/2.
+        def build(lam):
+            return PatternModel(
+                errors=ErrorModel(lambda_ind=lam, fail_stop_fraction=0.25),
+                costs=ResilienceCosts(
+                    checkpoint=CheckpointCost.linear(0.5),
+                    verification=VerificationCost.constant(15.0),
+                ),
+                speedup=AmdahlSpeedup(0.1),
+            )
+
+        s1 = theorem2_solution(build(1e-8))
+        s2 = theorem2_solution(build(1e-12))  # rate / 10^4
+        assert s2.processors / s1.processors == pytest.approx(10.0, rel=1e-9)
+        assert s2.period / s1.period == pytest.approx(100.0, rel=1e-9)
+
+    def test_speedup_property(self, linear_cost_model):
+        sol = theorem2_solution(linear_cost_model)
+        assert sol.speedup == pytest.approx(1.0 / sol.overhead)
+
+    def test_rejects_wrong_regime(self, constant_cost_model):
+        with pytest.raises(ValidityError):
+            theorem2_solution(constant_cost_model)
+
+    def test_rejects_alpha_zero(self, linear_cost_model):
+        with pytest.raises(ValidityError):
+            theorem2_solution(linear_cost_model.with_alpha(0.0))
+
+    def test_rejects_alpha_one(self, linear_cost_model):
+        with pytest.raises(ValidityError):
+            theorem2_solution(linear_cost_model.with_alpha(1.0))
+
+    def test_rejects_non_amdahl(self, linear_cost_model):
+        model = PatternModel(
+            linear_cost_model.errors, linear_cost_model.costs, GustafsonSpeedup(0.1)
+        )
+        with pytest.raises(ValidityError):
+            theorem2_solution(model)
+
+
+class TestTheorem3:
+    def test_formulas(self, constant_cost_model):
+        sol = theorem3_solution(constant_cost_model)
+        alpha = 0.1
+        d = constant_cost_model.costs.d
+        L = constant_cost_model.errors.effective_lambda
+        third = 1.0 / 3.0
+        assert sol.processors == pytest.approx(
+            (1.0 / (d * L)) ** third * ((1 - alpha) / alpha) ** (2 * third)
+        )
+        assert sol.period == pytest.approx(
+            (d**2 / L) ** third * (alpha / (1 - alpha)) ** third
+        )
+        assert sol.overhead == pytest.approx(
+            alpha + 3.0 * (alpha**2 * (1 - alpha) * d * L) ** third
+        )
+        assert sol.theorem == "theorem-3"
+
+    def test_period_consistent_with_theorem1(self, constant_cost_model):
+        sol = theorem3_solution(constant_cost_model)
+        T1 = optimal_period(
+            sol.processors, constant_cost_model.errors, constant_cost_model.costs
+        )
+        assert T1 == pytest.approx(sol.period, rel=1e-9)
+
+    def test_orders_in_lambda(self):
+        # Both P* and T* ~ lambda^-1/3.
+        def build(lam):
+            return PatternModel(
+                errors=ErrorModel(lambda_ind=lam, fail_stop_fraction=0.25),
+                costs=ResilienceCosts.simple(checkpoint=300.0, verification=15.0),
+                speedup=AmdahlSpeedup(0.1),
+            )
+
+        s1 = theorem3_solution(build(1e-9))
+        s2 = theorem3_solution(build(1e-12))  # rate / 10^3
+        assert s2.processors / s1.processors == pytest.approx(10.0, rel=1e-9)
+        assert s2.period / s1.period == pytest.approx(10.0, rel=1e-9)
+
+    def test_more_parallelism_than_theorem2(self, hera_sc1, hera_sc3):
+        # At the same lambda, bounded costs admit more processors
+        # asymptotically (1/3 > 1/4) — check at a very small rate.
+        m1 = hera_sc1.with_lambda(1e-12)
+        m3 = hera_sc3.with_lambda(1e-12)
+        assert theorem3_solution(m3).processors > theorem2_solution(m1).processors
+
+    def test_rejects_wrong_regime(self, linear_cost_model):
+        with pytest.raises(ValidityError):
+            theorem3_solution(linear_cost_model)
+
+    def test_rejects_alpha_zero(self, constant_cost_model):
+        with pytest.raises(ValidityError):
+            theorem3_solution(constant_cost_model.with_alpha(0.0))
+
+
+class TestDispatch:
+    def test_linear_goes_to_theorem2(self, linear_cost_model):
+        assert optimal_pattern(linear_cost_model).theorem == "theorem-2"
+
+    def test_constant_goes_to_theorem3(self, constant_cost_model):
+        assert optimal_pattern(constant_cost_model).theorem == "theorem-3"
+
+    def test_decaying_raises(self, decaying_cost_model):
+        with pytest.raises(ValidityError):
+            optimal_pattern(decaying_cost_model)
+
+    def test_matches_numerical_optimum_asymptotically(self, constant_cost_model):
+        # As lambda -> 0 the first-order optimum converges to the exact one.
+        from repro.optimize import optimize_allocation
+
+        model = constant_cost_model.with_lambda(1e-13)
+        fo = optimal_pattern(model)
+        num = optimize_allocation(model)
+        assert fo.processors == pytest.approx(num.processors, rel=0.02)
+        assert fo.period == pytest.approx(num.period, rel=0.02)
+        assert fo.overhead == pytest.approx(num.overhead, rel=1e-4)
+
+
+class TestDegenerateCases:
+    def test_case3_overhead_formula(self, decaying_cost_model):
+        P = 1000.0
+        h = decaying_cost_model.costs.h
+        L = decaying_cost_model.errors.effective_lambda
+        expected = decaying_cost_model.speedup.overhead(P) * (1 + 2 * np.sqrt(h * L))
+        assert case3_overhead(P, decaying_cost_model) == pytest.approx(expected)
+
+    def test_case3_monotone_decreasing(self, decaying_cost_model):
+        P = np.logspace(1, 5, 30)
+        H = case3_overhead(P, decaying_cost_model)
+        assert np.all(np.diff(H) < 0)
+
+    def test_case3_rejects_other_regimes(self, linear_cost_model):
+        with pytest.raises(ValidityError):
+            case3_overhead(100.0, linear_cost_model)
+
+    def test_case4_linear_costs(self, linear_cost_model):
+        model = linear_cost_model.with_alpha(0.0)
+        P = 1000.0
+        c = model.costs.c
+        L = model.errors.effective_lambda
+        assert case4_overhead(P, model) == pytest.approx(1 / P + 2 * np.sqrt(c * L))
+
+    def test_case4_constant_costs(self, constant_cost_model):
+        model = constant_cost_model.with_alpha(0.0)
+        P = 1000.0
+        d = model.costs.d
+        L = model.errors.effective_lambda
+        assert case4_overhead(P, model) == pytest.approx(1 / P + 2 * np.sqrt(d * L / P))
+
+    def test_case4_decaying_costs(self, decaying_cost_model):
+        model = decaying_cost_model.with_alpha(0.0)
+        P = 1000.0
+        h = model.costs.h
+        L = model.errors.effective_lambda
+        assert case4_overhead(P, model) == pytest.approx((1 + 2 * np.sqrt(h * L)) / P)
+
+    def test_case4_requires_alpha_zero(self, linear_cost_model):
+        with pytest.raises(ValidityError):
+            case4_overhead(100.0, linear_cost_model)
+
+    def test_case4_monotone_decreasing(self, constant_cost_model):
+        model = constant_cost_model.with_alpha(0.0)
+        P = np.logspace(1, 6, 40)
+        H = case4_overhead(P, model)
+        assert np.all(np.diff(H) < 0)
+
+
+class TestAsymptoticOrders:
+    def test_theorem2_orders(self):
+        orders = asymptotic_orders(CostRegime.LINEAR, alpha=0.1)
+        assert orders == {"x": 0.25, "y": 0.5, "z": 0.25}
+
+    def test_theorem3_orders(self):
+        orders = asymptotic_orders(CostRegime.CONSTANT, alpha=0.1)
+        assert orders["x"] == pytest.approx(1 / 3)
+        assert orders["y"] == pytest.approx(1 / 3)
+
+    def test_case3_orders_undefined(self):
+        orders = asymptotic_orders(CostRegime.DECAYING, alpha=0.1)
+        assert orders["x"] is None
+
+    def test_alpha_zero_orders(self):
+        assert asymptotic_orders(CostRegime.LINEAR, alpha=0.0)["x"] == 0.5
+        assert asymptotic_orders(CostRegime.CONSTANT, alpha=0.0)["x"] == 1.0

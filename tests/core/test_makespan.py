@@ -1,0 +1,75 @@
+"""Application makespan projection and weak-scaling helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ApplicationSpec, project_makespan, weak_scaled_work
+from repro.exceptions import InvalidParameterError
+from repro.units import days
+
+
+class TestApplicationSpec:
+    def test_basic(self):
+        spec = ApplicationSpec(total_work=days(30), name="climate-run")
+        assert spec.total_work == pytest.approx(days(30))
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(InvalidParameterError):
+            ApplicationSpec(total_work=0.0)
+
+
+class TestProjectMakespan:
+    def test_overhead_times_work(self, simple_model):
+        spec = ApplicationSpec(total_work=1e8)
+        T, P = 3000.0, 100
+        report = project_makespan(simple_model, spec, T, P)
+        assert report.expected_makespan == pytest.approx(
+            simple_model.overhead(T, P) * 1e8
+        )
+
+    def test_error_free_reference(self, simple_model):
+        spec = ApplicationSpec(total_work=1e8)
+        report = project_makespan(simple_model, spec, 3000.0, 100)
+        assert report.error_free_makespan == pytest.approx(
+            simple_model.error_free_overhead(100) * 1e8
+        )
+        assert report.resilience_penalty > 1.0
+
+    def test_pattern_count(self, simple_model):
+        spec = ApplicationSpec(total_work=1e8)
+        T, P = 3000.0, 100
+        report = project_makespan(simple_model, spec, T, P)
+        assert report.pattern_count == pytest.approx(
+            1e8 / (T * simple_model.speedup.speedup(P))
+        )
+
+    def test_summary_is_readable(self, simple_model):
+        spec = ApplicationSpec(total_work=1e8, name="demo")
+        text = project_makespan(simple_model, spec, 3000.0, 100).summary()
+        assert "demo" in text and "overhead" in text
+
+
+class TestWeakScaling:
+    def test_gustafson_form(self):
+        assert weak_scaled_work(100.0, 10.0, alpha=0.2) == pytest.approx(
+            100.0 * (0.2 + 0.8 * 10)
+        )
+
+    def test_single_processor_identity(self):
+        assert weak_scaled_work(100.0, 1.0, alpha=0.3) == pytest.approx(100.0)
+
+    def test_fully_sequential_never_scales(self):
+        assert weak_scaled_work(100.0, 1000.0, alpha=1.0) == pytest.approx(100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_work": -1.0, "P": 10.0, "alpha": 0.1},
+            {"base_work": 10.0, "P": 0.0, "alpha": 0.1},
+            {"base_work": 10.0, "P": 10.0, "alpha": 1.5},
+        ],
+    )
+    def test_rejects_bad_inputs(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            weak_scaled_work(**kwargs)

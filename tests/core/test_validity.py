@@ -1,0 +1,84 @@
+"""Section III-B validity bounds for the first-order approximation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_pattern
+from repro.core.validity import (
+    max_period_order,
+    max_processor_order,
+    period_order,
+    processor_order,
+)
+
+
+class TestOrderBounds:
+    def test_linear_cost_bound_is_half(self, linear_cost_model):
+        assert max_processor_order(linear_cost_model.costs) == 0.5
+
+    def test_constant_cost_bound_is_one(self, constant_cost_model):
+        assert max_processor_order(constant_cost_model.costs) == 1.0
+
+    def test_decaying_cost_bound_is_one(self, decaying_cost_model):
+        assert max_processor_order(decaying_cost_model.costs) == 1.0
+
+    def test_period_bound(self):
+        assert max_period_order(0.25) == 0.75
+        assert max_period_order(0.5) == 0.5
+
+    def test_processor_order_roundtrip(self):
+        lam = 1e-8
+        P = lam**-0.25
+        assert processor_order(P, lam) == pytest.approx(0.25)
+
+    def test_period_order_roundtrip(self):
+        lam = 1e-8
+        T = lam**-0.5
+        assert period_order(T, lam) == pytest.approx(0.5)
+
+    def test_order_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            processor_order(100.0, 2.0)
+
+
+class TestCheckPattern:
+    def test_valid_regime(self, hera_sc1):
+        # The first-order optimum is comfortably inside the regime.
+        from repro.core import optimal_pattern
+
+        sol = optimal_pattern(hera_sc1)
+        report = check_pattern(sol.period, sol.processors, hera_sc1)
+        assert report.ok
+        assert report.resilience_ok and report.period_ok
+        assert report.orders_ok
+
+    def test_epsilons_are_dimensionless_products(self, hera_sc1):
+        T, P = 6000.0, 256.0
+        report = check_pattern(T, P, hera_sc1)
+        lam_total = hera_sc1.errors.total_rate(P)
+        assert report.epsilon_resilience == pytest.approx(
+            lam_total * hera_sc1.costs.combined_cost(P)
+        )
+
+    def test_invalid_at_extreme_scale(self, hera_sc1):
+        # Far beyond the lambda^-1/2 bound the smallness breaks down.
+        report = check_pattern(1e5, 1e8, hera_sc1)
+        assert not report.ok
+
+    def test_threshold_controls_verdict(self, hera_sc1):
+        T, P = 6000.0, 256.0
+        strict = check_pattern(T, P, hera_sc1, threshold=1e-9)
+        assert not strict.ok
+
+    def test_degenerate_rate_reports_zero_orders(self, simple_costs):
+        from repro.core import AmdahlSpeedup, ErrorModel, PatternModel
+
+        model = PatternModel(
+            ErrorModel(lambda_ind=0.0, fail_stop_fraction=0.5),
+            simple_costs,
+            AmdahlSpeedup(0.1),
+        )
+        report = check_pattern(100.0, 10.0, model)
+        assert report.processor_order_x == 0.0
+        assert report.ok  # epsilons are exactly zero

@@ -1,0 +1,114 @@
+"""Young/Daly baseline period rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ErrorModel, ResilienceCosts, young_period, daly_period
+from repro.core.young_daly import (
+    daly_period_for,
+    generalized_period,
+    young_period_for,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestYoung:
+    def test_formula(self):
+        assert young_period(3600.0, 50.0) == pytest.approx(np.sqrt(2 * 3600 * 50))
+
+    def test_scales_with_sqrt_mtbf(self):
+        assert young_period(4 * 3600.0, 50.0) == pytest.approx(
+            2 * young_period(3600.0, 50.0)
+        )
+
+    def test_vectorised(self):
+        mu = np.array([100.0, 400.0])
+        out = young_period(mu, 2.0)
+        assert out.shape == (2,)
+        assert out[1] == pytest.approx(2 * out[0])
+
+    def test_zero_checkpoint_gives_zero_period(self):
+        # Free checkpoints: checkpoint continuously.
+        assert young_period(1e6, 0.0) == 0.0
+
+    def test_rejects_bad_mtbf(self):
+        with pytest.raises(InvalidParameterError):
+            young_period(0.0, 10.0)
+
+    def test_rejects_negative_checkpoint(self):
+        with pytest.raises(InvalidParameterError):
+            young_period(100.0, -1.0)
+
+
+class TestDaly:
+    def test_close_to_young_for_small_checkpoint(self):
+        # C << mu: the higher-order terms vanish.
+        mu, C = 1e7, 10.0
+        assert daly_period(mu, C) == pytest.approx(young_period(mu, C), rel=1e-3)
+
+    def test_below_young_for_large_checkpoint(self):
+        # The -C correction dominates as C grows.
+        mu, C = 3600.0, 600.0
+        assert daly_period(mu, C) < young_period(mu, C)
+
+    def test_saturates_at_mtbf(self):
+        # C >= 2 mu: Daly prescribes T = mu.
+        assert daly_period(100.0, 500.0) == pytest.approx(100.0)
+
+    def test_series_form(self):
+        mu, C = 5000.0, 100.0
+        ratio = C / (2 * mu)
+        expected = np.sqrt(2 * mu * C) * (1 + np.sqrt(ratio) / 3 + ratio / 9) - C
+        assert daly_period(mu, C) == pytest.approx(expected)
+
+    def test_vectorised_with_branch(self):
+        mu = np.array([100.0, 1e6])
+        C = np.array([500.0, 100.0])
+        out = daly_period(mu, C)
+        assert out[0] == pytest.approx(100.0)  # saturated branch
+        assert out[1] > 0
+
+
+class TestModelIntegration:
+    @pytest.fixture
+    def errors(self):
+        return ErrorModel(lambda_ind=1e-7, fail_stop_fraction=0.5)
+
+    @pytest.fixture
+    def costs(self):
+        return ResilienceCosts.simple(checkpoint=100.0, verification=20.0)
+
+    def test_young_period_for_uses_fail_stop_rate_only(self, errors, costs):
+        P = 100
+        mu_f = 1.0 / errors.fail_stop_rate(P)
+        assert young_period_for(P, errors, costs) == pytest.approx(
+            young_period(mu_f, 100.0)
+        )
+
+    def test_daly_period_for(self, errors, costs):
+        P = 100
+        mu_f = 1.0 / errors.fail_stop_rate(P)
+        assert daly_period_for(P, errors, costs) == pytest.approx(
+            daly_period(mu_f, 100.0)
+        )
+
+    def test_generalized_matches_theorem1(self, errors, costs):
+        from repro.core import optimal_period
+
+        P = 100
+        assert generalized_period(P, errors, costs) == pytest.approx(
+            optimal_period(P, errors, costs)
+        )
+
+    def test_generalized_shorter_than_young_with_silent_errors(self, errors, costs):
+        # Silent errors push the optimal period down vs the fail-stop-only
+        # Young rule (higher effective rate, plus verification cost).
+        P = 100
+        assert generalized_period(P, errors, costs) < young_period_for(P, errors, costs)
+
+    def test_young_for_rejects_zero_fail_stop(self, costs):
+        silent = ErrorModel.silent_only(1e-7)
+        with pytest.raises(InvalidParameterError):
+            young_period_for(100, silent, costs)

@@ -1,0 +1,57 @@
+"""CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import build_parser, main, print_input_tables
+
+
+class TestParser:
+    def test_tables_command(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.command == "tables"
+
+    def test_fig_command_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.platform == "Hera"
+        assert not args.no_sim
+        assert not args.paper
+
+    def test_fidelity_overrides(self):
+        args = build_parser().parse_args(["fig5", "--runs", "7", "--patterns", "9"])
+        assert args.runs == 7 and args.patterns == 9
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--platform", "Summit"])
+
+
+class TestExecution:
+    def test_tables_output(self, capsys):
+        print_input_tables()
+        out = capsys.readouterr().out
+        assert "Hera" in out and "CoastalSSD" in out
+        assert "Table II" in out and "Table III" in out
+
+    def test_main_tables(self, capsys):
+        assert main(["tables"]) == 0
+        assert "Hera" in capsys.readouterr().out
+
+    def test_main_fig2_no_sim(self, capsys):
+        assert main(["fig2", "--no-sim"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "scenario" in out
+
+    def test_main_with_csv(self, capsys, tmp_path):
+        assert main(["fig2", "--no-sim", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig2_hera.csv").exists()
+
+    def test_main_fig3_small(self, capsys):
+        assert main(["fig3", "--no-sim"]) == 0
+        assert "Figure 3(c)" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Segmented-pattern Monte Carlo vs the exact expectation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AmdahlSpeedup, ErrorModel, PatternModel, ResilienceCosts
+from repro.exceptions import SimulationError
+from repro.extensions.sim_twolevel import simulate_segmented_batch
+from repro.extensions.twolevel import expected_segmented_time
+from repro.sim.batch import simulate_batch
+from repro.sim.rng import make_rng
+
+
+def _model(lambda_ind=3e-5, f=0.3) -> PatternModel:
+    return PatternModel(
+        errors=ErrorModel(lambda_ind=lambda_ind, fail_stop_fraction=f),
+        costs=ResilienceCosts.simple(checkpoint=80.0, verification=8.0, downtime=40.0),
+        speedup=AmdahlSpeedup(0.1),
+    )
+
+
+class TestAgainstAnalytic:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    @pytest.mark.parametrize("f", [0.0, 0.3, 1.0])
+    def test_mean_matches(self, k, f):
+        model = _model(f=f)
+        T, P = 2500.0, 40
+        stats = simulate_segmented_batch(
+            model, T, P, k, n_runs=400, n_patterns=50, rng=make_rng(11)
+        )
+        analytic = expected_segmented_time(T, P, k, model.errors, model.costs)
+        per_run = stats.run_times / stats.n_patterns
+        sem = per_run.std(ddof=1) / np.sqrt(stats.n_runs)
+        assert abs(stats.mean_pattern_time - analytic) < 4 * max(sem, 1e-9)
+
+    def test_k1_matches_vc_batch_distribution(self):
+        model = _model()
+        T, P = 2500.0, 40
+        seg = simulate_segmented_batch(model, T, P, 1, 500, 40, make_rng(5))
+        vc = simulate_batch(model, T, P, 500, 40, make_rng(6))
+        pooled = np.sqrt(
+            seg.run_times.var(ddof=1) / seg.n_runs + vc.run_times.var(ddof=1) / vc.n_runs
+        )
+        assert abs(seg.run_times.mean() - vc.run_times.mean()) < 4 * pooled
+
+
+class TestBookkeeping:
+    def test_error_free_deterministic(self):
+        model = _model(lambda_ind=0.0)
+        stats = simulate_segmented_batch(model, 1000.0, 10, 3, 5, 4, make_rng(1))
+        expected = 4 * (1000.0 + 3 * 8.0 + 80.0)
+        np.testing.assert_allclose(stats.run_times, expected)
+        assert stats.n_fail_stop == 0
+
+    def test_silent_only_counts(self):
+        model = _model(lambda_ind=1e-4, f=0.0)
+        stats = simulate_segmented_batch(model, 1000.0, 20, 4, 50, 40, make_rng(2))
+        assert stats.n_fail_stop == 0
+        assert stats.n_silent_detected == stats.n_recoveries > 0
+
+    def test_reproducible(self):
+        model = _model()
+        a = simulate_segmented_batch(model, 1000.0, 20, 3, 20, 20, make_rng(9))
+        b = simulate_segmented_batch(model, 1000.0, 20, 3, 20, 20, make_rng(9))
+        np.testing.assert_array_equal(a.run_times, b.run_times)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"T": 0.0, "P": 10, "k": 1, "n_runs": 1, "n_patterns": 1},
+            {"T": 10.0, "P": 10, "k": 0, "n_runs": 1, "n_patterns": 1},
+            {"T": 10.0, "P": 10, "k": 1, "n_runs": 0, "n_patterns": 1},
+        ],
+    )
+    def test_rejects_bad_args(self, kwargs):
+        with pytest.raises(SimulationError):
+            simulate_segmented_batch(_model(), rng=make_rng(1), **kwargs)

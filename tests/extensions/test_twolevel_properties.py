@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) on the segmented-pattern extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AmdahlSpeedup,
+    ErrorModel,
+    PatternModel,
+    ResilienceCosts,
+    expected_pattern_time,
+)
+from repro.extensions.twolevel import (
+    expected_segmented_time,
+    segmented_overhead,
+    segmented_period,
+)
+
+rates = st.floats(min_value=1e-10, max_value=1e-4)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+periods = st.floats(min_value=10.0, max_value=1e5)
+costs_v = st.floats(min_value=0.1, max_value=500.0)
+segment_counts = st.integers(min_value=1, max_value=32)
+
+
+def _model(lam, f, C, V, D) -> PatternModel:
+    return PatternModel(
+        errors=ErrorModel(lambda_ind=lam, fail_stop_fraction=f),
+        costs=ResilienceCosts.simple(checkpoint=C, verification=V, downtime=D),
+        speedup=AmdahlSpeedup(0.1),
+    )
+
+
+class TestSegmentedProperties:
+    @given(
+        lam=rates,
+        f=fractions,
+        T=periods,
+        C=costs_v,
+        V=costs_v,
+        D=st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_k1_always_equals_proposition1(self, lam, f, T, C, V, D):
+        model = _model(lam, f, C, V, D)
+        P = 25.0
+        base = expected_pattern_time(T, P, model.errors, model.costs)
+        seg = expected_segmented_time(T, P, 1, model.errors, model.costs)
+        if np.isfinite(base):
+            assert seg == pytest.approx(base, rel=1e-9)
+
+    @given(lam=rates, f=fractions, T=periods, k=segment_counts)
+    @settings(max_examples=150, deadline=None)
+    def test_positive_and_above_floor(self, lam, f, T, k):
+        model = _model(lam, f, 60.0, 10.0, 30.0)
+        P = 25.0
+        E = expected_segmented_time(T, P, k, model.errors, model.costs)
+        floor = T + k * 10.0 + 60.0  # T + kV + C
+        assert not np.isnan(E)
+        if np.isfinite(E):
+            assert E >= floor * (1 - 1e-9)
+
+    @given(lam=rates, T=periods, k=segment_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_fail_stop_only_monotone_in_k(self, lam, T, k):
+        # Without silent errors, extra verifications are pure cost.
+        model = _model(lam, 1.0, 60.0, 10.0, 30.0)
+        P = 25.0
+        E_k = expected_segmented_time(T, P, k, model.errors, model.costs)
+        E_k1 = expected_segmented_time(T, P, k + 1, model.errors, model.costs)
+        if np.isfinite(E_k) and np.isfinite(E_k1):
+            assert E_k1 >= E_k * (1 - 1e-12)
+
+    @given(lam=rates, f=fractions, T=periods, k=segment_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_rate(self, lam, f, T, k):
+        model_cold = _model(lam, f, 60.0, 10.0, 30.0)
+        model_hot = _model(lam * 5.0, f, 60.0, 10.0, 30.0)
+        P = 25.0
+        E_cold = expected_segmented_time(T, P, k, model_cold.errors, model_cold.costs)
+        E_hot = expected_segmented_time(T, P, k, model_hot.errors, model_hot.costs)
+        if np.isfinite(E_cold) and np.isfinite(E_hot):
+            assert E_hot >= E_cold * (1 - 1e-12)
+
+    @given(lam=rates, f=fractions, k=segment_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_first_order_period_positive_and_near_optimal(self, lam, f, k):
+        model = _model(lam, f, 60.0, 10.0, 30.0)
+        P = 25.0
+        T_star = segmented_period(P, k, model.errors, model.costs)
+        assert T_star > 0.0
+        lam_eff = model.errors.fail_stop_rate(P) / 2.0 + model.errors.silent_rate(P)
+        if lam_eff * T_star < 0.05:  # inside the first-order regime
+            H_star = segmented_overhead(T_star, P, k, model)
+            assert H_star <= segmented_overhead(T_star * 2.0, P, k, model) * (1 + 1e-9)
+            assert H_star <= segmented_overhead(T_star * 0.5, P, k, model) * (1 + 1e-9)

@@ -1,0 +1,31 @@
+"""CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.io.csvout import write_csv
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2.5], ["x", None]])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+        assert rows[2] == ["x", ""]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nest" / "out.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_returns_path(self, tmp_path):
+        target = tmp_path / "x.csv"
+        assert write_csv(target, ["a"], []) == target
+
+    def test_empty_rows(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", ["h1", "h2"], [])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["h1", "h2"]]

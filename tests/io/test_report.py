@@ -1,0 +1,50 @@
+"""Consolidated markdown report writer."""
+
+from __future__ import annotations
+
+from repro.experiments.common import FigureResult
+from repro.io.report import write_report
+
+
+def _figure(fid: str = "figX") -> FigureResult:
+    return FigureResult(
+        figure_id=fid,
+        title=f"Demo {fid}",
+        columns=("x", "y"),
+        rows=((1.0, 2.0),),
+        notes=("demo note",),
+    )
+
+
+class TestWriteReport:
+    def test_structure(self, tmp_path):
+        path = write_report(
+            tmp_path / "r.md",
+            [("Figure X", [_figure()]), ("Figure Y", [_figure("figY")])],
+            sim_description="5 runs x 5 patterns",
+            input_tables="Table II: ...",
+        )
+        text = path.read_text()
+        assert text.startswith("# Regenerated results")
+        assert "## Inputs (Tables II-III)" in text
+        assert "## Figure X" in text and "## Figure Y" in text
+        assert "### Demo figX" in text
+        assert "demo note" in text
+        assert "5 runs x 5 patterns" in text
+
+    def test_without_inputs(self, tmp_path):
+        path = write_report(tmp_path / "r.md", [("S", [_figure()])], "disabled")
+        assert "## Inputs" not in path.read_text()
+
+    def test_creates_parents(self, tmp_path):
+        path = write_report(tmp_path / "a" / "b" / "r.md", [], "disabled")
+        assert path.exists()
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "cli_report.md"
+        assert main(["report", "--no-sim", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "Figure 2" in text
+        assert "ext-segments" in text or "Extension" in text

@@ -1,0 +1,68 @@
+"""ASCII table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_uses_format(self):
+        assert format_cell(3.14159, "{:.2f}") == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "x"], [["a", 1.5], ["bb", 20.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # Numeric column right-aligned: the longer number ends the line.
+        assert lines[-1].endswith("20.25")
+
+    def test_title_and_underline(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_none_cells(self):
+        text = render_table(["a", "b"], [[None, 2.0]])
+        assert "-" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_column_width_accommodates_header(self):
+        text = render_table(["very_long_header"], [[1.0]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("very_long_header")
+
+    def test_mixed_column_left_aligned(self):
+        text = render_table(["k"], [["text"], [1.0]])
+        lines = text.splitlines()
+        assert lines[2].startswith("text")
+
+
+class TestDoctestExample:
+    def test_module_example(self):
+        out = render_table(["name", "x"], [["a", 1.5], ["bb", 20.25]])
+        assert out == "name      x\n----  -----\na       1.5\nbb    20.25"

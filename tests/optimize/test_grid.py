@@ -1,0 +1,90 @@
+"""Logarithmic zooming grid search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.optimize.grid import GridResult, log_grid, refine_log_minimum
+
+
+class TestLogGrid:
+    def test_endpoints(self):
+        g = log_grid(1.0, 1000.0, 4)
+        assert g[0] == pytest.approx(1.0)
+        assert g[-1] == pytest.approx(1000.0)
+
+    def test_geometric_spacing(self):
+        g = log_grid(1.0, 10_000.0, 5)
+        ratios = g[1:] / g[:-1]
+        np.testing.assert_allclose(ratios, 10.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(OptimizationError):
+            log_grid(10.0, 1.0, 5)
+        with pytest.raises(OptimizationError):
+            log_grid(0.0, 1.0, 5)
+        with pytest.raises(OptimizationError):
+            log_grid(1.0, 10.0, 1)
+
+
+class TestRefine:
+    def test_finds_interior_minimum(self):
+        target = 543.21
+
+        def f(x):
+            return (np.log(x / target)) ** 2
+
+        result = refine_log_minimum(f, 1.0, 1e6)
+        assert result.interior
+        assert result.x == pytest.approx(target, rel=1e-6)
+
+    def test_wide_dynamic_range(self):
+        # Minimum at 1e10 inside [1, 1e13] — the Figure 6 situation.
+        target = 1e10
+
+        def f(x):
+            return np.abs(np.log10(x) - 10.0) + 1.0
+
+        result = refine_log_minimum(f, 1.0, 1e13)
+        assert result.x == pytest.approx(target, rel=1e-4)
+
+    def test_monotone_decreasing_flags_upper(self):
+        result = refine_log_minimum(lambda x: 1.0 / x, 1.0, 1e4)
+        assert result.at_upper
+        assert not result.interior
+
+    def test_monotone_increasing_flags_lower(self):
+        result = refine_log_minimum(lambda x: x, 1.0, 1e4)
+        assert result.at_lower
+
+    def test_handles_nonfinite_regions(self):
+        # Simulate overflow on the right half of the domain.
+        def f(x):
+            x = np.asarray(x, dtype=float)
+            out = (np.log(x / 100.0)) ** 2
+            return np.where(x > 1e4, np.inf, out)
+
+        result = refine_log_minimum(f, 1.0, 1e8)
+        assert result.x == pytest.approx(100.0, rel=1e-5)
+
+    def test_all_nonfinite_raises(self):
+        with pytest.raises(OptimizationError):
+            refine_log_minimum(lambda x: np.full_like(np.asarray(x, float), np.nan), 1, 10)
+
+    def test_nfev_scales_with_budget(self):
+        calls = {"n": 0}
+
+        def f(x):
+            calls["n"] += np.size(x)
+            return (np.log(x / 50.0)) ** 2
+
+        result = refine_log_minimum(f, 1.0, 1e4, points=9, rounds=5)
+        assert result.nfev == calls["n"]
+        assert result.nfev <= 9 * 5
+
+    def test_result_type(self):
+        result = refine_log_minimum(lambda x: (np.log(x / 7.0)) ** 2, 1.0, 100.0)
+        assert isinstance(result, GridResult)
+        assert result.fun == pytest.approx(0.0, abs=1e-12)

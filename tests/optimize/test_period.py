@@ -1,0 +1,120 @@
+"""Numerical period optimisation against the exact overhead objective."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import optimize as sp_optimize
+
+from repro.core import AmdahlSpeedup, ErrorModel, PatternModel, ResilienceCosts
+from repro.core.first_order import optimal_period
+from repro.exceptions import OptimizationError
+from repro.optimize.period import optimize_period, optimize_period_batch
+
+
+class TestOptimizePeriod:
+    def test_is_a_true_minimum(self, hera_sc1):
+        P = 256.0
+        result = optimize_period(hera_sc1, P)
+        H = result.overhead
+        for factor in (0.9, 0.99, 1.01, 1.1):
+            assert hera_sc1.overhead(result.period * factor, P) > H
+
+    def test_matches_scipy_bounded(self, hera_sc1):
+        P = 256.0
+        ours = optimize_period(hera_sc1, P)
+        scipy_result = sp_optimize.minimize_scalar(
+            lambda T: hera_sc1.overhead(T, P),
+            bounds=(10.0, 1e6),
+            method="bounded",
+            options={"xatol": 1e-8},
+        )
+        assert ours.period == pytest.approx(scipy_result.x, rel=1e-5)
+        assert ours.overhead <= scipy_result.fun * (1 + 1e-12)
+
+    def test_close_to_first_order_in_regime(self, hera_sc3):
+        # Within the validity regime the numerical optimum is within a
+        # few percent of Theorem 1.
+        P = 256.0
+        T_fo = optimal_period(P, hera_sc3.errors, hera_sc3.costs)
+        result = optimize_period(hera_sc3, P)
+        assert result.period == pytest.approx(T_fo, rel=0.1)
+
+    def test_converges_to_first_order_as_lambda_vanishes(self, hera_sc3):
+        model = hera_sc3.with_lambda(1e-13)
+        P = 256.0
+        T_fo = optimal_period(P, model.errors, model.costs)
+        result = optimize_period(model, P)
+        assert result.period == pytest.approx(T_fo, rel=1e-3)
+
+    def test_expected_time_consistent(self, hera_sc1):
+        result = optimize_period(hera_sc1, 256.0)
+        assert result.expected_time == pytest.approx(
+            hera_sc1.expected_time(result.period, 256.0)
+        )
+
+    def test_custom_seed_agrees(self, hera_sc1):
+        a = optimize_period(hera_sc1, 256.0)
+        b = optimize_period(hera_sc1, 256.0, seed=a.period * 7.0)
+        assert a.period == pytest.approx(b.period, rel=1e-6)
+
+    def test_error_free_raises(self, simple_costs):
+        model = PatternModel(
+            ErrorModel(lambda_ind=0.0, fail_stop_fraction=0.5),
+            simple_costs,
+            AmdahlSpeedup(0.1),
+        )
+        with pytest.raises(OptimizationError):
+            optimize_period(model, 100.0)
+
+    def test_high_rate_short_period(self):
+        # Aggressive error rate: optimum must be much shorter than MTBF.
+        model = PatternModel(
+            ErrorModel(lambda_ind=1e-4, fail_stop_fraction=0.5),
+            ResilienceCosts.simple(checkpoint=10.0, verification=1.0, downtime=5.0),
+            AmdahlSpeedup(0.1),
+        )
+        result = optimize_period(model, 10.0)
+        assert 0 < result.period < 1.0 / model.errors.total_rate(10.0)
+
+
+class TestBatch:
+    def test_matches_scalar_solver(self, hera_sc1):
+        P = np.array([128.0, 256.0, 512.0, 1024.0])
+        T_batch, H_batch = optimize_period_batch(hera_sc1, P)
+        for i, p in enumerate(P):
+            scalar = optimize_period(hera_sc1, float(p))
+            assert T_batch[i] == pytest.approx(scalar.period, rel=1e-6)
+            assert H_batch[i] == pytest.approx(scalar.overhead, rel=1e-10)
+
+    def test_shapes(self, hera_sc3):
+        P = np.logspace(1, 4, 7)
+        T, H = optimize_period_batch(hera_sc3, P)
+        assert T.shape == H.shape == (7,)
+
+    def test_monotone_overhead_tail(self, hera_sc1):
+        # Past the optimum allocation, min_T H(T, P) increases with P.
+        P = np.logspace(3, 5, 10)
+        _, H = optimize_period_batch(hera_sc1, P)
+        assert np.all(np.diff(H) > 0)
+
+    def test_rejects_empty(self, hera_sc1):
+        with pytest.raises(OptimizationError):
+            optimize_period_batch(hera_sc1, np.array([]))
+
+    def test_rejects_2d(self, hera_sc1):
+        with pytest.raises(OptimizationError):
+            optimize_period_batch(hera_sc1, np.ones((2, 2)))
+
+    def test_handles_extreme_processor_counts(self, hera_sc3):
+        # Huge P overflows the exponentials in parts (or all) of the T
+        # window; the zoom must survive and report +inf, never NaN, so
+        # the outer allocation search can discard those regions.
+        P = np.array([1e8, 1e10])
+        T, H = optimize_period_batch(hera_sc3, P)
+        assert np.all(np.isfinite(T))
+        assert not np.any(np.isnan(H))
+        # At P = 1e8 the overhead is finite (astronomical but representable).
+        assert np.isfinite(H[0])
+        # At P = 1e10, lambda_f * C ~ 1.1e4 overflows float64: genuinely inf.
+        assert H[1] == np.inf

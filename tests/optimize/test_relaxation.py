@@ -1,0 +1,55 @@
+"""Jin-et-al-style alternating relaxation baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AmdahlSpeedup, ErrorModel, PatternModel
+from repro.core.costs import ResilienceCosts
+from repro.exceptions import OptimizationError
+from repro.optimize.allocation import optimize_allocation
+from repro.optimize.relaxation import relaxation_optimize
+
+
+class TestRelaxation:
+    def test_converges(self, hera_sc1):
+        result = relaxation_optimize(hera_sc1)
+        assert result.converged
+        assert result.iterations < 20
+
+    def test_agrees_with_nested_optimizer(self, hera_sc1):
+        relaxed = relaxation_optimize(hera_sc1)
+        nested = optimize_allocation(hera_sc1)
+        assert relaxed.processors == pytest.approx(nested.processors, rel=1e-2)
+        assert relaxed.overhead == pytest.approx(nested.overhead, rel=1e-6)
+
+    def test_agrees_on_constant_costs(self, hera_sc3):
+        relaxed = relaxation_optimize(hera_sc3)
+        nested = optimize_allocation(hera_sc3)
+        assert relaxed.overhead == pytest.approx(nested.overhead, rel=1e-6)
+
+    def test_insensitive_to_start(self, hera_sc1):
+        a = relaxation_optimize(hera_sc1, p_start=8.0)
+        b = relaxation_optimize(hera_sc1, p_start=100_000.0)
+        assert a.processors == pytest.approx(b.processors, rel=1e-3)
+
+    def test_history_recorded(self, hera_sc1):
+        result = relaxation_optimize(hera_sc1)
+        assert len(result.history) == result.iterations
+        # Overheads along the trajectory are non-increasing (fixed-point
+        # descent on a unimodal objective).
+        overheads = [h for (_, _, h) in result.history]
+        assert all(b <= a * (1 + 1e-9) for a, b in zip(overheads, overheads[1:]))
+
+    def test_error_free_raises(self, simple_costs):
+        model = PatternModel(
+            ErrorModel(lambda_ind=0.0, fail_stop_fraction=0.5),
+            simple_costs,
+            AmdahlSpeedup(0.1),
+        )
+        with pytest.raises(OptimizationError):
+            relaxation_optimize(model)
+
+    def test_start_outside_range_raises(self, hera_sc1):
+        with pytest.raises(OptimizationError):
+            relaxation_optimize(hera_sc1, p_start=0.5, p_min=1.0)

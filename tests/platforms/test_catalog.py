@@ -1,0 +1,75 @@
+"""Table II platform catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnknownPlatformError
+from repro.platforms import PLATFORM_NAMES, PLATFORMS, get_platform
+from repro.platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
+
+
+class TestTableII:
+    """Every number of Table II, verbatim."""
+
+    @pytest.mark.parametrize(
+        "name, lam, f, p_ref, cp, vp",
+        [
+            ("Hera", 1.69e-8, 0.2188, 512, 300.0, 15.4),
+            ("Atlas", 1.62e-8, 0.0625, 1024, 439.0, 9.1),
+            ("Coastal", 2.34e-9, 0.1667, 2048, 1051.0, 4.5),
+            ("CoastalSSD", 2.34e-9, 0.1667, 2048, 2500.0, 180.0),
+        ],
+    )
+    def test_row(self, name, lam, f, p_ref, cp, vp):
+        p = PLATFORMS[name]
+        assert p.lambda_ind == lam
+        assert p.fail_stop_fraction == f
+        assert p.reference_processors == p_ref
+        assert p.checkpoint_cost == cp
+        assert p.verification_cost == vp
+
+    def test_silent_fractions_match_table(self):
+        assert PLATFORMS["Hera"].silent_fraction == pytest.approx(0.7812)
+        assert PLATFORMS["Atlas"].silent_fraction == pytest.approx(0.9375)
+        assert PLATFORMS["Coastal"].silent_fraction == pytest.approx(0.8333)
+
+    def test_canonical_order(self):
+        assert PLATFORM_NAMES == ("Hera", "Atlas", "Coastal", "CoastalSSD")
+
+    def test_defaults_match_section_iv(self):
+        assert DEFAULT_DOWNTIME == 3600.0  # one hour
+        assert DEFAULT_ALPHA == 0.1
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_platform("hera").name == "Hera"
+        assert get_platform("HERA").name == "Hera"
+
+    def test_ssd_aliases(self):
+        for alias in ("CoastalSSD", "coastal ssd", "coastal-ssd", "coastal_ssd"):
+            assert get_platform(alias).name == "CoastalSSD"
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownPlatformError):
+            get_platform("Titan")
+
+
+class TestErrorModelConstruction:
+    def test_error_model_from_platform(self):
+        m = get_platform("Hera").error_model()
+        assert m.lambda_ind == 1.69e-8
+        assert m.fail_stop_fraction == 0.2188
+
+    def test_lambda_override(self):
+        m = get_platform("Hera").error_model(lambda_ind=1e-12)
+        assert m.lambda_ind == 1e-12
+        assert m.fail_stop_fraction == 0.2188  # fraction preserved
+
+    def test_platform_mtbfs_are_years_scale(self):
+        # Individual MTBFs of these platforms are 1.9-13.5 years:
+        # 'sufficiently large' in the Section III-B sense.
+        for name in PLATFORM_NAMES:
+            years = get_platform(name).error_model().mtbf_ind_years
+            assert 1.0 < years < 20.0

@@ -1,0 +1,103 @@
+"""Table III scenario projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CostRegime
+from repro.exceptions import UnknownScenarioError
+from repro.platforms import (
+    SCENARIO_IDS,
+    build_model,
+    get_platform,
+    get_scenario,
+    scenario_costs,
+)
+
+
+class TestProjectionAnchoring:
+    """Every scenario must reproduce the measured (C_ref, V_ref) at P_ref."""
+
+    @pytest.mark.parametrize("platform", ["Hera", "Atlas", "Coastal", "CoastalSSD"])
+    @pytest.mark.parametrize("scenario_id", SCENARIO_IDS)
+    def test_costs_anchor_at_reference(self, platform, scenario_id):
+        p = get_platform(platform)
+        costs = scenario_costs(p, scenario_id)
+        P_ref = p.reference_processors
+        assert costs.checkpoint_cost(P_ref) == pytest.approx(p.checkpoint_cost)
+        assert costs.verification_cost(P_ref) == pytest.approx(p.verification_cost)
+        assert costs.recovery_cost(P_ref) == pytest.approx(p.checkpoint_cost)
+
+
+class TestScalabilityForms:
+    def test_scenario1_checkpoint_linear(self):
+        costs = scenario_costs("Hera", 1)
+        assert costs.checkpoint_cost(1024) == pytest.approx(600.0)  # 2x P_ref
+        assert costs.verification_cost(1024) == pytest.approx(15.4)  # constant
+
+    def test_scenario2_verification_decays(self):
+        costs = scenario_costs("Hera", 2)
+        assert costs.verification_cost(1024) == pytest.approx(7.7)
+
+    def test_scenario3_both_constant(self):
+        costs = scenario_costs("Hera", 3)
+        assert costs.checkpoint_cost(64) == costs.checkpoint_cost(65536) == 300.0
+        assert costs.verification_cost(64) == 15.4
+
+    def test_scenario5_checkpoint_decays(self):
+        costs = scenario_costs("Hera", 5)
+        assert costs.checkpoint_cost(1024) == pytest.approx(150.0)
+        assert costs.checkpoint_cost(256) == pytest.approx(600.0)
+
+    def test_scenario6_everything_decays(self):
+        costs = scenario_costs("Hera", 6)
+        assert costs.combined_cost(1024) == pytest.approx((300.0 + 15.4) / 2.0)
+
+    @pytest.mark.parametrize(
+        "scenario_id, regime",
+        [
+            (1, CostRegime.LINEAR),
+            (2, CostRegime.LINEAR),
+            (3, CostRegime.CONSTANT),
+            (4, CostRegime.CONSTANT),
+            (5, CostRegime.CONSTANT),  # constant verification keeps d > 0
+            (6, CostRegime.DECAYING),
+        ],
+    )
+    def test_regime_mapping_matches_section_iv(self, scenario_id, regime):
+        # Scenarios 1-2 -> Theorem 2, 3-5 -> Theorem 3, 6 -> case 3.
+        assert scenario_costs("Hera", scenario_id).regime is regime
+
+
+class TestLookupAndBuild:
+    def test_get_scenario_labels(self):
+        s = get_scenario(1)
+        assert s.checkpoint_form == "cP"
+        assert s.verification_form == "v"
+        assert "cP" in s.label
+
+    def test_unknown_scenario(self):
+        with pytest.raises(UnknownScenarioError):
+            get_scenario(7)
+
+    def test_build_model_defaults(self):
+        model = build_model("Hera", 1)
+        assert model.alpha == 0.1
+        assert model.costs.downtime == 3600.0
+        assert model.errors.lambda_ind == 1.69e-8
+
+    def test_build_model_overrides(self):
+        model = build_model("Atlas", 3, alpha=0.01, downtime=60.0, lambda_ind=1e-10)
+        assert model.alpha == 0.01
+        assert model.costs.downtime == 60.0
+        assert model.errors.lambda_ind == 1e-10
+        assert model.errors.fail_stop_fraction == 0.0625
+
+    def test_downtime_plumbing(self):
+        costs = scenario_costs("Hera", 1, downtime=123.0)
+        assert costs.downtime == 123.0
+
+    def test_build_model_accepts_platform_object(self):
+        p = get_platform("Coastal")
+        model = build_model(p, 4)
+        assert model.errors.lambda_ind == 2.34e-9

@@ -1,0 +1,137 @@
+"""Discrete-event engine kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import EventEngine
+from repro.sim.events import EventKind
+
+
+class TestScheduling:
+    def test_chronological_order(self):
+        e = EventEngine()
+        e.schedule(5.0, EventKind.CUSTOM, "late")
+        e.schedule(1.0, EventKind.CUSTOM, "early")
+        e.schedule(3.0, EventKind.CUSTOM, "middle")
+        order = [e.pop().payload for _ in range(3)]
+        assert order == ["early", "middle", "late"]
+
+    def test_clock_advances(self):
+        e = EventEngine()
+        e.schedule(2.5, EventKind.CUSTOM)
+        assert e.now == 0.0
+        e.pop()
+        assert e.now == 2.5
+
+    def test_fifo_tie_breaking(self):
+        e = EventEngine()
+        e.schedule(1.0, EventKind.CUSTOM, "first")
+        e.schedule(1.0, EventKind.CUSTOM, "second")
+        assert e.pop().payload == "first"
+        assert e.pop().payload == "second"
+
+    def test_schedule_at_absolute(self):
+        e = EventEngine(start_time=100.0)
+        e.schedule_at(105.0, EventKind.CUSTOM)
+        assert e.pop().time == pytest.approx(105.0)
+
+    def test_negative_delay_raises(self):
+        e = EventEngine()
+        with pytest.raises(SimulationError):
+            e.schedule(-1.0, EventKind.CUSTOM)
+
+    def test_relative_to_current_time(self):
+        e = EventEngine()
+        e.schedule(1.0, EventKind.CUSTOM)
+        e.pop()
+        e.schedule(1.0, EventKind.CUSTOM)
+        assert e.pop().time == pytest.approx(2.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        e = EventEngine()
+        h = e.schedule(1.0, EventKind.FAIL_STOP)
+        e.schedule(2.0, EventKind.SEGMENT_END)
+        e.cancel(h)
+        assert e.pop().kind is EventKind.SEGMENT_END
+
+    def test_cancel_after_fire_is_noop(self):
+        e = EventEngine()
+        h = e.schedule(1.0, EventKind.CUSTOM)
+        event = e.pop()
+        e.cancel(h)  # no error
+        assert event.handle == h
+
+    def test_len_accounts_for_cancellations(self):
+        e = EventEngine()
+        h1 = e.schedule(1.0, EventKind.CUSTOM)
+        e.schedule(2.0, EventKind.CUSTOM)
+        assert len(e) == 2
+        e.cancel(h1)
+        assert len(e) == 1
+
+    def test_empty_after_all_cancelled(self):
+        e = EventEngine()
+        h = e.schedule(1.0, EventKind.CUSTOM)
+        e.cancel(h)
+        assert e.empty()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventEngine().pop()
+
+
+class TestAdvance:
+    def test_advance_moves_clock(self):
+        e = EventEngine()
+        e.advance(10.0)
+        assert e.now == 10.0
+
+    def test_advance_cannot_skip_events(self):
+        e = EventEngine()
+        e.schedule(5.0, EventKind.CUSTOM)
+        with pytest.raises(SimulationError):
+            e.advance(10.0)
+
+    def test_advance_up_to_cancelled_event_ok(self):
+        e = EventEngine()
+        h = e.schedule(5.0, EventKind.CUSTOM)
+        e.cancel(h)
+        e.advance(10.0)  # the cancelled event does not block
+        assert e.now == 10.0
+
+    def test_negative_advance_raises(self):
+        with pytest.raises(SimulationError):
+            EventEngine().advance(-1.0)
+
+
+class TestRun:
+    def test_run_until_empty(self):
+        e = EventEngine()
+        seen = []
+        for i in range(5):
+            e.schedule(float(i), EventKind.CUSTOM, i)
+        count = e.run(lambda ev: (seen.append(ev.payload), True)[1])
+        assert count == 5
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_handler_can_stop(self):
+        e = EventEngine()
+        for i in range(5):
+            e.schedule(float(i), EventKind.CUSTOM, i)
+        count = e.run(lambda ev: ev.payload < 2)
+        assert count == 3  # 0, 1 continue; 2 stops
+
+    def test_max_events_guard(self):
+        e = EventEngine()
+
+        def reschedule(ev):
+            e.schedule(1.0, EventKind.CUSTOM)
+            return True
+
+        e.schedule(1.0, EventKind.CUSTOM)
+        with pytest.raises(SimulationError):
+            e.run(reschedule, max_events=100)

@@ -1,0 +1,61 @@
+"""High-level Monte-Carlo driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.montecarlo import FAST, PAPER, Fidelity, simulate_overhead
+
+
+class TestFidelity:
+    def test_paper_matches_section_iv(self):
+        assert PAPER.n_runs == 500
+        assert PAPER.n_patterns == 500
+
+    def test_fast_is_cheaper(self):
+        assert FAST.n_runs * FAST.n_patterns < PAPER.n_runs * PAPER.n_patterns
+
+    def test_custom(self):
+        f = Fidelity(n_runs=7, n_patterns=13)
+        assert (f.n_runs, f.n_patterns) == (7, 13)
+
+
+class TestSimulateOverhead:
+    def test_batch_matches_analytic(self, hera_sc1):
+        T, P = 6554.9, 207.0
+        est = simulate_overhead(hera_sc1, T, P, n_runs=300, n_patterns=200, seed=1)
+        analytic = float(hera_sc1.overhead(T, P))
+        # 6-sigma band: the estimator is unbiased.
+        assert abs(est.mean - analytic) < 6 * est.stderr
+
+    def test_des_matches_analytic(self, hera_sc1):
+        T, P = 6554.9, 207.0
+        est = simulate_overhead(
+            hera_sc1, T, P, n_runs=30, n_patterns=60, seed=2, method="des"
+        )
+        analytic = float(hera_sc1.overhead(T, P))
+        assert abs(est.mean - analytic) < 6 * est.stderr
+
+    def test_methods_agree(self, hera_sc1):
+        T, P = 6554.9, 207.0
+        b = simulate_overhead(hera_sc1, T, P, n_runs=200, n_patterns=100, seed=3)
+        d = simulate_overhead(
+            hera_sc1, T, P, n_runs=30, n_patterns=100, seed=3, method="des"
+        )
+        pooled = (b.stderr**2 + d.stderr**2) ** 0.5
+        assert abs(b.mean - d.mean) < 5 * pooled
+
+    def test_seed_reproducibility(self, hera_sc1):
+        a = simulate_overhead(hera_sc1, 6000.0, 200.0, n_runs=20, n_patterns=20, seed=9)
+        b = simulate_overhead(hera_sc1, 6000.0, 200.0, n_runs=20, n_patterns=20, seed=9)
+        assert a.mean == b.mean
+
+    def test_unknown_method(self, hera_sc1):
+        with pytest.raises(SimulationError):
+            simulate_overhead(hera_sc1, 6000.0, 200.0, method="quantum")
+
+    def test_fractional_processors_accepted(self, hera_sc1):
+        # First-order P* is continuous; the simulator must accept it.
+        est = simulate_overhead(hera_sc1, 6239.4, 218.9, n_runs=20, n_patterns=20, seed=4)
+        assert est.mean > 0.1

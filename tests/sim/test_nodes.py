@@ -1,0 +1,142 @@
+"""Node-level failure superposition: Proposition 1.2 and Palm-Khintchine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.platforms import build_model
+from repro.sim.nodes import NodePool, simulate_run_nodes
+from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.streams import ExponentialArrivals, WeibullArrivals
+
+
+class TestNodePool:
+    def test_peek_is_min(self):
+        pool = NodePool(100, ExponentialArrivals(1e-3), make_rng(1))
+        first = pool.peek()
+        assert first >= 0.0
+        node = pool.fail_and_renew()
+        assert 0 <= node < 100
+        assert pool.peek() >= first
+
+    def test_arrivals_monotone(self):
+        pool = NodePool(50, ExponentialArrivals(1e-2), make_rng(2))
+        times = []
+        for _ in range(200):
+            times.append(pool.peek())
+            pool.fail_and_renew()
+        assert times == sorted(times)
+
+    def test_proposition_1_2_empirical_rate(self):
+        # The superposition of P exponential(lam) streams is Poisson(P*lam).
+        lam, P = 1e-4, 128
+        pool = NodePool(P, ExponentialArrivals(lam), make_rng(3))
+        horizon = 4000.0 / (P * lam)  # ~4000 expected arrivals
+        rate = pool.empirical_rate(horizon)
+        assert rate == pytest.approx(P * lam, rel=0.05)
+
+    def test_warm_up_consumes_and_rebases(self):
+        pool = NodePool(64, ExponentialArrivals(1e-3), make_rng(4))
+        consumed = pool.warm_up(mean_multiples=2.0)
+        assert consumed > 0
+        assert pool.peek() >= 0.0 or pool.peek() > -1e-9  # rebased near zero
+
+    def test_weibull_fresh_start_rate_elevated(self):
+        # Infant mortality: a fresh pool of shape-0.7 nodes fails faster
+        # than its long-run rate over a short early window.
+        lam, P = 1e-4, 256
+        w = WeibullArrivals.from_mean(0.7, 1.0 / lam)
+        fresh = NodePool(P, w, make_rng(5))
+        horizon = 100.0 / (P * lam)
+        fresh_rate = fresh.empirical_rate(horizon)
+        seasoned = NodePool(P, w, make_rng(6))
+        seasoned.warm_up()
+        seasoned_rate = seasoned.empirical_rate(horizon)
+        assert fresh_rate > 1.1 * seasoned_rate
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(SimulationError):
+            NodePool(0, ExponentialArrivals(1e-3), make_rng(1))
+
+
+class TestNodeLevelProtocol:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_model("Hera", 1)
+
+    def test_exponential_nodes_match_aggregated_model(self, model):
+        # Proposition 1.2 through the whole protocol: node-level
+        # simulation converges to the platform-level expectation.
+        T, P = 6554.9, 207
+        times = np.array(
+            [
+                simulate_run_nodes(model, T, P, 60, rng).total_time / 60
+                for rng in spawn_rngs(50, seed=11)
+            ]
+        )
+        analytic = model.expected_time(T, P)
+        sem = times.std(ddof=1) / np.sqrt(times.size)
+        assert abs(times.mean() - analytic) < 4 * sem
+
+    def test_palm_khintchine_weibull_nodes(self, model):
+        # Stationary per-node Weibull superposes to ~Poisson at 200+
+        # nodes: the exponential-platform analysis stays accurate.
+        T, P = 6554.9, 207
+        lam_node = model.errors.lambda_ind * model.errors.fail_stop_fraction
+        w = WeibullArrivals.from_mean(0.7, 1.0 / lam_node)
+        times = np.array(
+            [
+                simulate_run_nodes(model, T, P, 60, rng, node_process=w).total_time / 60
+                for rng in spawn_rngs(50, seed=12)
+            ]
+        )
+        analytic = model.expected_time(T, P)
+        assert times.mean() == pytest.approx(analytic, rel=0.01)
+
+    def test_fresh_weibull_machine_pays_infant_mortality(self, model):
+        T, P = 6554.9, 207
+        lam_node = model.errors.lambda_ind * model.errors.fail_stop_fraction
+        w = WeibullArrivals.from_mean(0.7, 1.0 / lam_node)
+        fresh = np.mean(
+            [
+                simulate_run_nodes(
+                    model, T, P, 60, rng, node_process=w, stationary=False
+                ).total_time
+                for rng in spawn_rngs(40, seed=13)
+            ]
+        )
+        seasoned = np.mean(
+            [
+                simulate_run_nodes(model, T, P, 60, rng, node_process=w).total_time
+                for rng in spawn_rngs(40, seed=14)
+            ]
+        )
+        assert fresh > 1.01 * seasoned
+
+    def test_breakdown_sums(self, model):
+        stats = simulate_run_nodes(model, 6000.0, 100, 30, make_rng(15))
+        assert stats.breakdown.total == pytest.approx(stats.total_time, rel=1e-12)
+
+    def test_reproducible(self, model):
+        a = simulate_run_nodes(model, 6000.0, 100, 20, make_rng(16))
+        b = simulate_run_nodes(model, 6000.0, 100, 20, make_rng(16))
+        assert a.total_time == b.total_time
+
+    def test_rejects_zero_rate_without_process(self, simple_costs):
+        from repro.core import AmdahlSpeedup, ErrorModel, PatternModel
+
+        model = PatternModel(
+            ErrorModel(0.0, 0.5), simple_costs, AmdahlSpeedup(0.1)
+        )
+        with pytest.raises(SimulationError):
+            simulate_run_nodes(model, 100.0, 10, 5, make_rng(1))
+
+    def test_rejects_bad_args(self, model):
+        with pytest.raises(SimulationError):
+            simulate_run_nodes(model, 0.0, 10, 5, make_rng(1))
+        with pytest.raises(SimulationError):
+            simulate_run_nodes(model, 100.0, 0, 5, make_rng(1))
+        with pytest.raises(SimulationError):
+            simulate_run_nodes(model, 100.0, 10, 0, make_rng(1))

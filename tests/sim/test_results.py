@@ -1,0 +1,108 @@
+"""Overhead estimators and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.batch import simulate_batch
+from repro.sim.protocol import simulate_run
+from repro.sim.results import OverheadEstimate, overhead_estimate, overhead_samples
+from repro.sim.rng import make_rng, spawn_rngs
+
+
+class TestOverheadEstimate:
+    def test_from_samples_statistics(self):
+        samples = np.array([0.10, 0.11, 0.12, 0.13])
+        est = OverheadEstimate.from_samples(samples)
+        assert est.mean == pytest.approx(0.115)
+        assert est.std == pytest.approx(np.std(samples, ddof=1))
+        assert est.stderr == pytest.approx(est.std / 2.0)
+        assert est.n_runs == 4
+
+    def test_ci_is_symmetric(self):
+        est = OverheadEstimate.from_samples(np.array([1.0, 2.0, 3.0]))
+        assert est.ci_high - est.mean == pytest.approx(est.mean - est.ci_low)
+        assert est.halfwidth == pytest.approx((est.ci_high - est.ci_low) / 2)
+
+    def test_contains(self):
+        est = OverheadEstimate.from_samples(np.array([1.0, 2.0, 3.0]))
+        assert est.contains(est.mean)
+        assert not est.contains(est.ci_high + 1.0)
+
+    def test_single_sample_degenerate(self):
+        est = OverheadEstimate.from_samples(np.array([0.5]))
+        assert est.mean == 0.5
+        assert est.std == 0.0
+        assert est.ci_low == est.ci_high == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            OverheadEstimate.from_samples(np.array([]))
+
+    def test_ci_shrinks_with_samples(self):
+        rng = np.random.default_rng(5)
+        small = OverheadEstimate.from_samples(rng.normal(0.1, 0.01, 20))
+        large = OverheadEstimate.from_samples(rng.normal(0.1, 0.01, 2000))
+        assert large.halfwidth < small.halfwidth
+
+
+class TestOverheadSamples:
+    def test_normalisation(self, simple_model):
+        T, P, n_pat = 1000.0, 100, 10
+        run_times = np.array([12_000.0, 13_000.0])
+        samples = overhead_samples(simple_model, T, P, run_times, n_pat)
+        work = n_pat * T * simple_model.speedup.speedup(P)
+        np.testing.assert_allclose(samples, run_times / work)
+
+    def test_error_free_floor(self, simple_model):
+        # A run with zero waste lands exactly on H(P) * (T+V+C)/T.
+        T, P, n_pat = 1000.0, 100, 5
+        ideal = n_pat * (T + simple_model.costs.combined_cost(P))
+        sample = overhead_samples(simple_model, T, P, np.array([ideal]), n_pat)[0]
+        floor = simple_model.error_free_overhead(P)
+        assert sample > floor
+
+    def test_rejects_bad_pattern_count(self, simple_model):
+        with pytest.raises(SimulationError):
+            overhead_samples(simple_model, 100.0, 10, np.array([1.0]), 0)
+
+
+class TestOverheadEstimateDispatch:
+    def test_from_batch(self, simple_model):
+        stats = simulate_batch(simple_model, 1000.0, 100, 30, 20, make_rng(1))
+        est = overhead_estimate(simple_model, 1000.0, 100, stats)
+        assert est.n_runs == 30
+        assert est.mean > simple_model.error_free_overhead(100)
+
+    def test_from_run_stats(self, simple_model):
+        runs = [
+            simulate_run(simple_model, 1000.0, 100, 20, rng)
+            for rng in spawn_rngs(10, seed=2)
+        ]
+        est = overhead_estimate(simple_model, 1000.0, 100, runs)
+        assert est.n_runs == 10
+
+    def test_batch_and_des_agree(self, simple_model):
+        T, P, n_pat = 1000.0, 100, 25
+        batch = simulate_batch(simple_model, T, P, 300, n_pat, make_rng(3))
+        est_b = overhead_estimate(simple_model, T, P, batch)
+        runs = [
+            simulate_run(simple_model, T, P, n_pat, rng) for rng in spawn_rngs(60, seed=4)
+        ]
+        est_d = overhead_estimate(simple_model, T, P, runs)
+        pooled = np.hypot(est_b.stderr, est_d.stderr)
+        assert abs(est_b.mean - est_d.mean) < 4 * pooled
+
+    def test_empty_runs_raises(self, simple_model):
+        with pytest.raises(SimulationError):
+            overhead_estimate(simple_model, 100.0, 10, [])
+
+    def test_mismatched_pattern_counts_raise(self, simple_model):
+        runs = [
+            simulate_run(simple_model, 1000.0, 100, 5, make_rng(5)),
+            simulate_run(simple_model, 1000.0, 100, 6, make_rng(6)),
+        ]
+        with pytest.raises(SimulationError):
+            overhead_estimate(simple_model, 1000.0, 100, runs)

@@ -1,0 +1,77 @@
+"""Arrival-process abstractions (exponential, Weibull)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim.rng import make_rng
+from repro.sim.streams import ExponentialArrivals, WeibullArrivals
+
+
+class TestExponential:
+    def test_mean_and_rate(self):
+        p = ExponentialArrivals(lam=0.01)
+        assert p.mean == pytest.approx(100.0)
+        assert p.rate == pytest.approx(0.01)
+
+    def test_sample_mean(self):
+        p = ExponentialArrivals(lam=0.02)
+        rng = make_rng(1)
+        samples = np.array([p.sample_interarrival(rng) for _ in range(50_000)])
+        assert samples.mean() == pytest.approx(50.0, rel=0.02)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialArrivals(lam=0.0)
+
+
+class TestWeibull:
+    def test_mean_formula(self):
+        w = WeibullArrivals(shape=2.0, scale=100.0)
+        assert w.mean == pytest.approx(100.0 * math.gamma(1.5))
+
+    def test_from_mean_roundtrip(self):
+        w = WeibullArrivals.from_mean(0.7, 3600.0)
+        assert w.mean == pytest.approx(3600.0)
+
+    def test_shape_one_is_exponential(self):
+        w = WeibullArrivals(shape=1.0, scale=100.0)
+        e = ExponentialArrivals(lam=0.01)
+        rng_w, rng_e = make_rng(3), make_rng(3)
+        sw = np.array([w.sample_interarrival(rng_w) for _ in range(50_000)])
+        se = np.array([e.sample_interarrival(rng_e) for _ in range(50_000)])
+        # Same distribution family: matching mean and variance.
+        assert sw.mean() == pytest.approx(se.mean(), rel=0.03)
+        assert sw.var() == pytest.approx(se.var(), rel=0.06)
+
+    def test_sample_mean_matches(self):
+        w = WeibullArrivals.from_mean(0.7, 200.0)
+        rng = make_rng(5)
+        samples = np.array([w.sample_interarrival(rng) for _ in range(100_000)])
+        assert samples.mean() == pytest.approx(200.0, rel=0.03)
+
+    def test_small_shape_is_burstier(self):
+        # Lower shape -> higher coefficient of variation at equal mean.
+        rng = make_rng(7)
+        cv = {}
+        for shape in (0.7, 1.0, 2.0):
+            w = WeibullArrivals.from_mean(shape, 100.0)
+            s = np.array([w.sample_interarrival(rng) for _ in range(50_000)])
+            cv[shape] = s.std() / s.mean()
+        assert cv[0.7] > cv[1.0] > cv[2.0]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shape": 0.0, "scale": 1.0},
+        {"shape": 1.0, "scale": -1.0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            WeibullArrivals(**kwargs)
+
+    def test_from_mean_rejects_bad(self):
+        with pytest.raises(InvalidParameterError):
+            WeibullArrivals.from_mean(0.7, -1.0)

@@ -1,0 +1,98 @@
+"""Trace recording in the event-driven simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AmdahlSpeedup, ErrorModel, PatternModel, ResilienceCosts
+from repro.sim import Trace, TraceEventKind, format_trace, simulate_run
+from repro.sim.rng import make_rng
+
+
+def _model(lambda_ind=5e-5, f=0.5) -> PatternModel:
+    return PatternModel(
+        errors=ErrorModel(lambda_ind=lambda_ind, fail_stop_fraction=f),
+        costs=ResilienceCosts.simple(checkpoint=60.0, verification=10.0, downtime=30.0),
+        speedup=AmdahlSpeedup(0.1),
+    )
+
+
+class TestTraceStructure:
+    def test_error_free_trace_shape(self):
+        trace = Trace()
+        simulate_run(_model(0.0), 1000.0, 10, 3, make_rng(1), trace=trace)
+        assert trace.count(TraceEventKind.PATTERN_START) == 3
+        assert trace.count(TraceEventKind.PATTERN_DONE) == 3
+        assert trace.count(TraceEventKind.CHECKPOINT_DONE) == 3
+        assert trace.count(TraceEventKind.FAIL_STOP) == 0
+
+    def test_counters_match_stats(self):
+        trace = Trace()
+        stats = simulate_run(_model(), 1500.0, 30, 40, make_rng(2), trace=trace)
+        assert trace.count(TraceEventKind.FAIL_STOP) == stats.n_fail_stop
+        assert trace.count(TraceEventKind.SILENT_DETECTED) == stats.n_silent_detected
+        assert trace.count(TraceEventKind.RECOVERY_DONE) == stats.n_recoveries
+        assert trace.count(TraceEventKind.DOWNTIME) == stats.n_downtimes
+        assert trace.count(TraceEventKind.SEGMENT_START) == stats.n_attempts
+
+    def test_timestamps_monotone(self):
+        trace = Trace()
+        simulate_run(_model(), 1500.0, 30, 20, make_rng(3), trace=trace)
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+
+    def test_makespan_matches_total_time(self):
+        trace = Trace()
+        stats = simulate_run(_model(), 1500.0, 30, 20, make_rng(4), trace=trace)
+        assert trace.makespan == pytest.approx(stats.total_time)
+
+    def test_no_trace_is_default(self):
+        # Omitting the trace must not change the run (same RNG stream).
+        a = simulate_run(_model(), 1500.0, 30, 20, make_rng(5))
+        trace = Trace()
+        b = simulate_run(_model(), 1500.0, 30, 20, make_rng(5), trace=trace)
+        assert a.total_time == b.total_time
+
+
+class TestTraceQueries:
+    @pytest.fixture
+    def trace(self) -> Trace:
+        t = Trace()
+        simulate_run(_model(), 1500.0, 30, 10, make_rng(6), trace=t)
+        return t
+
+    def test_of_kind(self, trace):
+        done = trace.of_kind(TraceEventKind.PATTERN_DONE)
+        assert len(done) == 10
+        assert all(e.kind is TraceEventKind.PATTERN_DONE for e in done)
+
+    def test_between(self, trace):
+        mid = trace.makespan / 2
+        early = trace.between(0.0, mid)
+        late = trace.between(mid, trace.makespan + 1.0)
+        assert len(early) + len(late) == len(trace)
+
+    def test_len_and_iter(self, trace):
+        assert len(list(trace)) == len(trace) > 0
+
+
+class TestFormatting:
+    def test_format_lines(self):
+        t = Trace()
+        t.record(0.0, TraceEventKind.PATTERN_START, "pattern 1")
+        t.record(10.5, TraceEventKind.FAIL_STOP, "during work+verify")
+        text = format_trace(t)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "pattern-start" in lines[0]
+        assert "fail-stop" in lines[1]
+
+    def test_limit(self):
+        t = Trace()
+        for i in range(10):
+            t.record(float(i), TraceEventKind.DOWNTIME)
+        assert len(format_trace(t, limit=3).splitlines()) == 3
+
+    def test_empty_trace(self):
+        assert format_trace(Trace()) == ""
+        assert Trace().makespan == 0.0

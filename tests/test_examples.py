@@ -1,0 +1,90 @@
+"""Every example script must run cleanly end to end (deliverable b).
+
+Each example is executed in a subprocess with the repo's environment;
+we assert a zero exit code and sanity-check a line of expected output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "platform_sizing.py",
+        "scaling_study.py",
+        "silent_error_blindness.py",
+        "simulator_tour.py",
+        "exascale_projection.py",
+        "interleaved_verifications.py",
+        "waste_anatomy.py",
+    } <= names
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "Closed form (Theorem 2)" in out
+    assert "simulated overhead" in out
+    assert "worse than" in out
+
+
+def test_platform_sizing():
+    out = _run("platform_sizing.py")
+    for platform in ("Hera", "Atlas", "Coastal", "CoastalSSD"):
+        assert f"Platform {platform}" in out
+    assert "penalty" in out
+
+
+def test_scaling_study():
+    out = _run("scaling_study.py")
+    assert "fitted orders" in out
+    assert "lambda^-0.2" in out or "lambda^-0.3" in out
+
+
+def test_silent_error_blindness():
+    out = _run("silent_error_blindness.py")
+    assert "penalty" in out
+    assert "Hera" in out
+
+
+def test_simulator_tour():
+    out = _run("simulator_tour.py")
+    assert "Activity breakdown" in out
+    assert "useful" in out
+
+
+def test_exascale_projection():
+    out = _run("exascale_projection.py")
+    assert "Platform MTBF at P = 100k" in out
+    assert "Joint optimum" in out
+
+
+def test_interleaved_verifications():
+    out = _run("interleaved_verifications.py")
+    assert "best k" in out
+    assert "simulated" in out
+
+
+def test_waste_anatomy():
+    out = _run("waste_anatomy.py")
+    assert "waste channels" in out
+    assert "simulated relative waste" in out

@@ -1,0 +1,48 @@
+"""Exception hierarchy contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    InvalidParameterError,
+    OptimizationError,
+    ReproError,
+    SimulationError,
+    UnknownPlatformError,
+    UnknownScenarioError,
+    ValidityError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [
+        InvalidParameterError,
+        ValidityError,
+        OptimizationError,
+        SimulationError,
+        UnknownPlatformError,
+        UnknownScenarioError,
+    ],
+)
+def test_all_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+
+
+def test_invalid_parameter_is_value_error():
+    # Callers using plain ValueError handling still catch parameter issues.
+    assert issubclass(InvalidParameterError, ValueError)
+
+
+def test_optimization_error_is_runtime_error():
+    assert issubclass(OptimizationError, RuntimeError)
+
+
+def test_unknown_platform_is_key_error():
+    assert issubclass(UnknownPlatformError, KeyError)
+
+
+def test_catch_all_works():
+    with pytest.raises(ReproError):
+        raise ValidityError("out of regime")

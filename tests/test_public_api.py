@@ -1,0 +1,120 @@
+"""Public API surface: imports, __all__, version, docstrings."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_quickstart_from_docstring(self):
+        model = repro.build_model("Hera", scenario_id=1)
+        sol = repro.optimal_pattern(model)
+        assert round(sol.processors) == 219
+        assert round(sol.period) == 6239
+
+    def test_key_classes_importable_from_top(self):
+        assert repro.PatternModel is not None
+        assert repro.AmdahlSpeedup is not None
+        assert repro.ErrorModel is not None
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.core.speedup",
+        "repro.core.costs",
+        "repro.core.errors",
+        "repro.core.pattern",
+        "repro.core.first_order",
+        "repro.core.young_daly",
+        "repro.core.validity",
+        "repro.core.makespan",
+        "repro.optimize",
+        "repro.optimize.scalar",
+        "repro.optimize.grid",
+        "repro.optimize.period",
+        "repro.optimize.allocation",
+        "repro.optimize.relaxation",
+        "repro.platforms",
+        "repro.platforms.catalog",
+        "repro.platforms.scenarios",
+        "repro.baselines",
+        "repro.baselines.error_free",
+        "repro.baselines.failstop_only",
+        "repro.sim",
+        "repro.sim.rng",
+        "repro.sim.engine",
+        "repro.sim.events",
+        "repro.sim.protocol",
+        "repro.sim.batch",
+        "repro.sim.results",
+        "repro.sim.montecarlo",
+        "repro.sim.streams",
+        "repro.sim.renewal",
+        "repro.sim.nodes",
+        "repro.sim.trace",
+        "repro.analysis",
+        "repro.analysis.asymptotics",
+        "repro.analysis.sensitivity",
+        "repro.analysis.waste",
+        "repro.io",
+        "repro.io.tables",
+        "repro.io.csvout",
+        "repro.io.report",
+        "repro.experiments",
+        "repro.experiments.runner",
+        "repro.experiments.ext_segments",
+        "repro.experiments.ext_weibull",
+        "repro.experiments.ext_weakscaling",
+        "repro.experiments.ext_nodes",
+        "repro.extensions",
+        "repro.extensions.twolevel",
+        "repro.extensions.sim_twolevel",
+        "repro.units",
+        "repro.exceptions",
+    ],
+)
+class TestModules:
+    def test_imports(self, module):
+        mod = importlib.import_module(module)
+        assert mod is not None
+
+    def test_has_docstring(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} lacks a module docstring"
+
+    def test_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name!r}"
+
+
+class TestDocstrings:
+    def test_public_functions_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"undocumented public callables: {undocumented}"
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"undocumented public classes: {undocumented}"
