@@ -25,6 +25,18 @@ def pytest_addoption(parser):
     )
 
 
+@pytest.fixture
+def wallclock_assertions(request) -> bool:
+    """Whether hard wall-clock assertions should run.
+
+    ``--benchmark-disable`` marks a functional (smoke) run on possibly
+    noisy shared hardware; timing thresholds are skipped there.
+    """
+    if request.config.getoption("--benchmark-disable"):
+        pytest.skip("wall-clock assertions skipped with --benchmark-disable")
+    return True
+
+
 @pytest.fixture(scope="session")
 def sim_settings(request) -> SimSettings:
     """Monte-Carlo budget for the figure benches."""

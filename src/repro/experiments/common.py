@@ -30,11 +30,17 @@ class SimSettings:
 
     ``simulate=False`` turns every simulated column into ``None`` so the
     analytic parts of a figure can be regenerated instantly.
+    ``method`` selects the simulation backend (one of
+    :data:`repro.sim.montecarlo.METHODS`); the default ``"auto"`` uses
+    the aggregated vectorized backend for paper-fidelity budgets and
+    the per-pattern batch sampler below the size threshold.
     """
 
     simulate: bool = True
     fidelity: Fidelity = FAST
     seed: int = DEFAULT_SEED
+    method: str = "auto"
+    workers: int | None = None
 
     def budget(self) -> tuple[int, int]:
         return self.fidelity.n_runs, self.fidelity.n_patterns
@@ -48,7 +54,14 @@ def simulate_mean(
         return None
     n_runs, n_patterns = settings.budget()
     est = simulate_overhead(
-        model, T, P, n_runs=n_runs, n_patterns=n_patterns, seed=settings.seed
+        model,
+        T,
+        P,
+        n_runs=n_runs,
+        n_patterns=n_patterns,
+        seed=settings.seed,
+        method=settings.method,
+        workers=settings.workers,
     )
     return est.mean
 

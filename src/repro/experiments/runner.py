@@ -15,14 +15,16 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Sequence
 
 from ..io.tables import render_table
 from ..platforms.catalog import PLATFORM_NAMES, PLATFORMS
 from ..platforms.scenarios import SCENARIOS
-from ..sim.montecarlo import FAST, PAPER, Fidelity
+from ..sim.montecarlo import FAST, METHODS, PAPER, Fidelity
 from ..sim.rng import DEFAULT_SEED
 from . import (
     ext_nodes,
@@ -38,7 +40,7 @@ from . import (
 )
 from .common import FigureResult, SimSettings
 
-__all__ = ["main", "print_input_tables"]
+__all__ = ["main", "print_input_tables", "print_command_index", "check_experiments_md"]
 
 _FIGURES: dict[str, Callable[..., list[FigureResult]]] = {
     "fig2": fig2_scenarios.run,
@@ -51,6 +53,23 @@ _FIGURES: dict[str, Callable[..., list[FigureResult]]] = {
     "ext-weibull": ext_weibull.run,
     "ext-weakscaling": ext_weakscaling.run,
     "ext-nodes": ext_nodes.run,
+}
+
+#: Real subcommands that are not figure pipelines; references to them
+#: in EXPERIMENTS.md are legitimate and exempt from the drift check.
+_META_COMMANDS = {"all", "tables", "report", "index"}
+
+_DESCRIPTIONS = {
+    "fig2": "optimal patterns per scenario and platform",
+    "fig3": "sweep of the processor count (period, overhead, first-order gap)",
+    "fig4": "sweep of the sequential fraction alpha",
+    "fig5": "sweep of the error rate (alpha = 0.1) with slope fits",
+    "fig6": "sweep of the error rate for perfectly parallel jobs (alpha = 0)",
+    "fig7": "sweep of the downtime D",
+    "ext-segments": "extension: interleaved verifications (segments per checkpoint)",
+    "ext-weibull": "extension: robustness under Weibull fail-stop arrivals",
+    "ext-weakscaling": "extension: weak vs strong scaling under failures",
+    "ext-nodes": "extension: per-node failure laws vs the aggregated platform",
 }
 
 
@@ -98,7 +117,13 @@ def _settings_from_args(args: argparse.Namespace) -> SimSettings:
         )
     else:
         fidelity = PAPER if args.paper else FAST
-    return SimSettings(simulate=not args.no_sim, fidelity=fidelity, seed=args.seed)
+    return SimSettings(
+        simulate=not args.no_sim,
+        fidelity=fidelity,
+        seed=args.seed,
+        method=args.method,
+        workers=args.workers,
+    )
 
 
 def _run_figure(name: str, args: argparse.Namespace) -> list[FigureResult]:
@@ -141,6 +166,19 @@ def _add_common_options(sub: argparse.ArgumentParser) -> None:
         "--patterns", type=int, default=None, help="override patterns per run"
     )
     sub.add_argument("--seed", type=int, default=DEFAULT_SEED, help="master RNG seed")
+    sub.add_argument(
+        "--method",
+        default="auto",
+        choices=list(METHODS),
+        help="simulation backend: auto picks vectorized for paper-size "
+        "budgets, batch below; des is the slow event-driven reference",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the vectorized backend's chunk dispatch",
+    )
     sub.add_argument("--csv", default=None, metavar="DIR", help="also dump CSV files")
 
 
@@ -154,19 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("tables", help="print Tables II and III (inputs)")
 
-    descriptions = {
-        "fig2": "optimal patterns per scenario and platform",
-        "fig3": "sweep of the processor count (period, overhead, first-order gap)",
-        "fig4": "sweep of the sequential fraction alpha",
-        "fig5": "sweep of the error rate (alpha = 0.1) with slope fits",
-        "fig6": "sweep of the error rate for perfectly parallel jobs (alpha = 0)",
-        "fig7": "sweep of the downtime D",
-        "ext-segments": "extension: interleaved verifications (segments per checkpoint)",
-        "ext-weibull": "extension: robustness under Weibull fail-stop arrivals",
-        "ext-weakscaling": "extension: weak vs strong scaling under failures",
-        "ext-nodes": "extension: per-node failure laws vs the aggregated platform",
-    }
-    for name, desc in descriptions.items():
+    for name, desc in _DESCRIPTIONS.items():
         sub = subparsers.add_parser(name, help=desc)
         _add_common_options(sub)
         if name == "fig2":
@@ -188,7 +214,60 @@ def build_parser() -> argparse.ArgumentParser:
     sub_report.add_argument(
         "--out", default="report.md", metavar="FILE", help="output markdown path"
     )
+
+    sub_index = subparsers.add_parser(
+        "index", help="list every experiment command; --check verifies EXPERIMENTS.md"
+    )
+    sub_index.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless EXPERIMENTS.md references every command (and "
+        "nothing that does not exist)",
+    )
+    sub_index.add_argument(
+        "--file",
+        default="EXPERIMENTS.md",
+        metavar="PATH",
+        help="experiment index document to verify (default: ./EXPERIMENTS.md)",
+    )
     return parser
+
+
+def print_command_index(stream=None) -> None:
+    """Print every experiment subcommand with its CLI invocation."""
+    stream = stream or sys.stdout
+    print("Experiment commands (equivalently `repro-experiments <command>`):", file=stream)
+    for name in _FIGURES:
+        print(f"  python -m repro {name:<16} # {_DESCRIPTIONS[name]}", file=stream)
+
+
+def check_experiments_md(path: str | Path, stream=None) -> int:
+    """Verify the experiment index document against :data:`_FIGURES`.
+
+    Returns 0 when every runner command is referenced as
+    ``python -m repro <command>`` and every referenced command exists
+    (the non-figure subcommands in :data:`_META_COMMANDS` are exempt),
+    1 otherwise.
+    This is the same contract the conformance test suite enforces, so
+    the document cannot silently drift from the runner.
+    """
+    stream = stream or sys.stdout
+    path = Path(path)
+    if not path.exists():
+        print(f"[index] {path} does not exist", file=stream)
+        return 1
+    referenced = set(re.findall(r"python -m repro ([\w-]+)", path.read_text()))
+    referenced -= _META_COMMANDS
+    missing = sorted(set(_FIGURES) - referenced)
+    unknown = sorted(referenced - set(_FIGURES))
+    for name in missing:
+        print(f"[index] {path} does not reference `python -m repro {name}`", file=stream)
+    for name in unknown:
+        print(f"[index] {path} references unknown command {name!r}", file=stream)
+    if missing or unknown:
+        return 1
+    print(f"[index] {path} covers all {len(_FIGURES)} commands", file=stream)
+    return 0
 
 
 def _write_report(args: argparse.Namespace) -> None:
@@ -202,7 +281,7 @@ def _write_report(args: argparse.Namespace) -> None:
     print_input_tables(stream=buffer)
     sim = (
         f"{settings.fidelity.n_runs} runs x {settings.fidelity.n_patterns} "
-        f"patterns, seed {settings.seed}"
+        f"patterns, seed {settings.seed}, method {settings.method}"
         if settings.simulate
         else "disabled"
     )
@@ -214,6 +293,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "tables":
         print_input_tables()
+        return 0
+    if args.command == "index":
+        print_command_index()
+        if args.check:
+            return check_experiments_md(args.file)
         return 0
     started = time.perf_counter()
     if args.command == "all":

@@ -1,24 +1,44 @@
 """Monte-Carlo simulation of the VC protocol.
 
-Two simulators, one distribution:
+Three simulators, one distribution:
 
 ``protocol``
     Event-driven reference (legible specification, per-event stats).
 ``batch``
-    Vectorised closed-form sampler (the hot path; ~1000x faster).
+    Vectorised closed-form sampler (~1000x faster than the reference).
+``vectorized``
+    Whole-budget aggregated sampler (negative-binomial failure counts,
+    chunked/multiprocess dispatch; the paper-fidelity hot path).
 
 Plus the :class:`~repro.sim.engine.EventEngine` kernel, reproducible
 RNG streams, estimators, and the high-level
 :func:`~repro.sim.montecarlo.simulate_overhead` driver.
 """
 
-from .batch import BatchStats, simulate_batch, truncated_exponential
+from .batch import (
+    BatchStats,
+    PatternRates,
+    merge_batch_stats,
+    plan_chunks,
+    simulate_batch,
+    simulate_batch_chunked,
+    truncated_exponential,
+)
 from .engine import EventEngine
 from .events import Event, EventKind
-from .montecarlo import FAST, PAPER, Fidelity, simulate_overhead
+from .montecarlo import (
+    FAST,
+    METHODS,
+    PAPER,
+    VECTORIZED_THRESHOLD,
+    Fidelity,
+    resolve_method,
+    simulate_overhead,
+)
 from .nodes import NodePool, simulate_run_nodes
 from .protocol import RunStats, TimeBreakdown, simulate_run
 from .renewal import simulate_run_renewal
+from .vectorized import simulate_vectorized
 from .results import OverheadEstimate, overhead_estimate, overhead_samples
 from .rng import make_rng, spawn_rngs, spawn_seed_sequences
 from .streams import ArrivalProcess, ExponentialArrivals, WeibullArrivals
@@ -32,7 +52,12 @@ __all__ = [
     "TimeBreakdown",
     "simulate_run",
     "BatchStats",
+    "PatternRates",
     "simulate_batch",
+    "simulate_batch_chunked",
+    "simulate_vectorized",
+    "plan_chunks",
+    "merge_batch_stats",
     "truncated_exponential",
     "OverheadEstimate",
     "overhead_estimate",
@@ -43,6 +68,9 @@ __all__ = [
     "Fidelity",
     "FAST",
     "PAPER",
+    "METHODS",
+    "VECTORIZED_THRESHOLD",
+    "resolve_method",
     "simulate_overhead",
     "simulate_run_renewal",
     "NodePool",

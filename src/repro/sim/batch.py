@@ -30,18 +30,44 @@ truncated exponentials) evaluated in bulk numpy arrays; per-run sums
 use ``bincount`` segment reductions.  The equivalence with the
 event-driven reference is asserted statistically in the test suite, and
 the empirical mean converges to Proposition 1 by construction.
+
+The scalar protocol rates (:class:`PatternRates`) and the per-failure
+cost sampler (:func:`sample_failure_costs`) are shared with the
+aggregated backend in :mod:`repro.sim.vectorized`, which collapses the
+per-pattern geometric draws into one negative-binomial draw per run.
+This module also hosts the chunked/multiprocess dispatch helpers
+(:func:`plan_chunks`, :func:`dispatch_chunks`, :func:`merge_batch_stats`,
+:func:`simulate_batch_chunked`) both array backends use to run the
+paper's 500 x 500 protocol with bounded memory.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.pattern import PatternModel
 from ..exceptions import SimulationError
 
-__all__ = ["BatchStats", "simulate_batch", "truncated_exponential"]
+__all__ = [
+    "BatchStats",
+    "PatternRates",
+    "simulate_batch",
+    "simulate_batch_chunked",
+    "sample_failure_costs",
+    "truncated_exponential",
+    "plan_chunks",
+    "dispatch_chunks",
+    "merge_batch_stats",
+    "run_chunked",
+]
+
+#: Soft cap on ``runs x patterns`` cells simulated per chunk; keeps the
+#: transient arrays of a paper-fidelity sweep in the tens of megabytes.
+MAX_CHUNK_ELEMENTS = 4_000_000
 
 
 def truncated_exponential(
@@ -60,6 +86,65 @@ def truncated_exponential(
         raise SimulationError("truncated exponential needs a positive rate")
     q = -np.expm1(-lam * window)
     return -np.log1p(-rng.random(size) * q) / lam
+
+
+@dataclass(frozen=True)
+class PatternRates:
+    """Scalar rates of PATTERN(T, P) shared by the array backends.
+
+    Plain floats only, so instances pickle cheaply across process
+    boundaries when chunks are dispatched to a worker pool.
+    """
+
+    T: float
+    A: float  #: work + verification segment length (T + V)
+    C: float
+    R: float
+    V: float
+    D: float
+    lam_f: float
+    lam_s: float
+    p_ok_A: float
+    p_ok_C: float
+    p_ok_R: float
+    p_success: float
+
+    @classmethod
+    def from_model(cls, model: PatternModel, T: float, P: float) -> "PatternRates":
+        if T <= 0.0:
+            raise SimulationError(f"pattern period must be positive, got {T!r}")
+        if P <= 0.0:
+            raise SimulationError(f"processor count must be positive, got {P!r}")
+        lam_f = float(model.errors.fail_stop_rate(P))
+        lam_s = float(model.errors.silent_rate(P))
+        C = float(model.costs.checkpoint_cost(P))
+        R = float(model.costs.recovery_cost(P))
+        V = float(model.costs.verification_cost(P))
+        D = float(model.costs.downtime)
+        A = T + V
+        p_ok_A = float(np.exp(-lam_f * A))
+        p_ok_S = float(np.exp(-lam_s * T))
+        p_ok_C = float(np.exp(-lam_f * C))
+        p_ok_R = float(np.exp(-lam_f * R))
+        return cls(
+            T=float(T),
+            A=A,
+            C=C,
+            R=R,
+            V=V,
+            D=D,
+            lam_f=lam_f,
+            lam_s=lam_s,
+            p_ok_A=p_ok_A,
+            p_ok_C=p_ok_C,
+            p_ok_R=p_ok_R,
+            p_success=p_ok_A * p_ok_S * p_ok_C,
+        )
+
+    @property
+    def base_pattern_time(self) -> float:
+        """Error-free duration of one pattern: work + verify + checkpoint."""
+        return self.A + self.C
 
 
 @dataclass(frozen=True)
@@ -98,6 +183,107 @@ class BatchStats:
         return float(self.run_times.mean() / self.n_patterns)
 
 
+def sample_failure_costs(
+    rng: np.random.Generator, rates: PatternRates, n_failures: int
+) -> tuple[np.ndarray, int, int, int, int]:
+    """Sample the wall-clock cost of ``n_failures`` iid failed attempts.
+
+    Classifies each failure into outcome A/B/C with masked array
+    arithmetic, adds the truncated-exponential time lost, the downtime,
+    and the (retried) recovery.  Returns ``(cost, n_A, n_B, n_C, n_sub)``
+    where ``n_sub`` counts fail-stop interruptions of recoveries.
+    """
+    if n_failures == 0:
+        return np.empty(0), 0, 0, 0, 0
+
+    # Classify each failure: A (fail-stop in work+verify), B (silent
+    # detected), C (fail-stop in checkpoint) — conditional on failure.
+    q_A = -np.expm1(-rates.lam_f * rates.A)
+    q_B = rates.p_ok_A * -np.expm1(-rates.lam_s * rates.T)
+    q_fail = 1.0 - rates.p_success
+    u = rng.random(n_failures)
+    is_A = u < q_A / q_fail
+    is_C = u >= (q_A + q_B) / q_fail
+    is_B = ~is_A & ~is_C
+    n_A = int(is_A.sum())
+    n_B = int(is_B.sum())
+    n_C = int(is_C.sum())
+
+    cost = np.empty(n_failures)
+    if n_A:
+        cost[is_A] = truncated_exponential(rng, rates.lam_f, rates.A, n_A) + rates.D
+    if n_B:
+        cost[is_B] = rates.A
+    if n_C:
+        cost[is_C] = (
+            rates.A + truncated_exponential(rng, rates.lam_f, rates.C, n_C) + rates.D
+        )
+
+    # Every failure triggers exactly one recovery; the recovery itself
+    # is retried through a geometric number of fail-stop interruptions.
+    if rates.lam_f > 0.0:
+        rec_failures = rng.geometric(rates.p_ok_R, size=n_failures) - 1
+        n_sub = int(rec_failures.sum())
+        sub_losses = truncated_exponential(rng, rates.lam_f, rates.R, n_sub)
+        per_failure_loss = np.bincount(
+            np.repeat(np.arange(n_failures), rec_failures),
+            weights=sub_losses,
+            minlength=n_failures,
+        )
+        cost += rates.R + rec_failures * rates.D + per_failure_loss
+    else:
+        n_sub = 0
+        cost += rates.R
+
+    return cost, n_A, n_B, n_C, n_sub
+
+
+def _error_free_stats(rates: PatternRates, n_runs: int, n_patterns: int) -> BatchStats:
+    return BatchStats(
+        run_times=np.full(n_runs, n_patterns * rates.base_pattern_time),
+        n_patterns=n_patterns,
+        n_attempts=n_runs * n_patterns,
+        n_fail_stop=0,
+        n_silent_detected=0,
+        n_recoveries=0,
+        n_downtimes=0,
+    )
+
+
+def _simulate_batch_rates(
+    rates: PatternRates, n_runs: int, n_patterns: int, rng: np.random.Generator
+) -> BatchStats:
+    """Core of :func:`simulate_batch` on pre-computed scalar rates."""
+    if n_runs <= 0 or n_patterns <= 0:
+        raise SimulationError("n_runs and n_patterns must be positive")
+
+    if rates.p_success >= 1.0:  # error-free: every attempt succeeds
+        return _error_free_stats(rates, n_runs, n_patterns)
+
+    n_total = n_runs * n_patterns
+    base_time = n_patterns * rates.base_pattern_time
+
+    # Failed attempts per pattern: geometric trials minus the success.
+    attempts = rng.geometric(rates.p_success, size=n_total)
+    failures = attempts - 1
+    n_failures = int(failures.sum())
+    run_of_pattern = np.repeat(np.arange(n_runs), n_patterns)
+    run_of_failure = np.repeat(run_of_pattern, failures)
+
+    cost, n_A, n_B, n_C, n_sub = sample_failure_costs(rng, rates, n_failures)
+    run_times = base_time + np.bincount(run_of_failure, weights=cost, minlength=n_runs)
+
+    return BatchStats(
+        run_times=run_times,
+        n_patterns=n_patterns,
+        n_attempts=int(attempts.sum()),
+        n_fail_stop=n_A + n_C + n_sub,
+        n_silent_detected=n_B,
+        n_recoveries=n_failures,
+        n_downtimes=n_A + n_C + n_sub,
+    )
+
+
 def simulate_batch(
     model: PatternModel,
     T: float,
@@ -111,93 +297,152 @@ def simulate_batch(
     Distribution-identical to looping :func:`repro.sim.protocol.simulate_run`,
     about three orders of magnitude faster.
     """
-    if T <= 0.0:
-        raise SimulationError(f"pattern period must be positive, got {T!r}")
-    if P <= 0.0:
-        raise SimulationError(f"processor count must be positive, got {P!r}")
+    return _simulate_batch_rates(
+        PatternRates.from_model(model, T, P), n_runs, n_patterns, rng
+    )
+
+
+# -- chunked / multiprocess dispatch -----------------------------------------
+
+
+def plan_chunks(n_runs: int, chunk_runs: int) -> list[int]:
+    """Split ``n_runs`` into consecutive chunks of at most ``chunk_runs``.
+
+    The plan is a pure function of its arguments, so a fixed master seed
+    reproduces the same result whatever the worker count.
+    """
+    if n_runs <= 0:
+        raise SimulationError(f"n_runs must be positive, got {n_runs!r}")
+    if chunk_runs <= 0:
+        raise SimulationError(f"chunk_runs must be positive, got {chunk_runs!r}")
+    full, rest = divmod(n_runs, chunk_runs)
+    return [chunk_runs] * full + ([rest] if rest else [])
+
+
+def dispatch_chunks(
+    worker: Callable[..., BatchStats],
+    jobs: Sequence[tuple],
+    workers: int | None = None,
+) -> list[BatchStats]:
+    """Run ``worker(*job)`` for every job, serially or on a process pool.
+
+    ``workers=None`` auto-sizes to the machine (serial on a single-core
+    box, one process per core otherwise, capped by the job count); any
+    pool failure — a sandbox refusing to fork, a worker dying — falls
+    back to the serial path so results are always produced.
+    """
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(jobs))
+    if workers > 1 and len(jobs) > 1:
+        # Only pool-infrastructure failures (no fork in a sandbox, an
+        # unpicklable worker, a killed child) fall back to the serial
+        # path; an exception raised *inside* a worker propagates as-is.
+        try:
+            import pickle
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(worker, *zip(*jobs)))
+        except (ImportError, OSError, pickle.PicklingError, BrokenProcessPool):
+            pass  # pragma: no cover - depends on host sandboxing
+    return [worker(*job) for job in jobs]
+
+
+def merge_batch_stats(parts: Sequence[BatchStats]) -> BatchStats:
+    """Concatenate per-chunk results into one :class:`BatchStats`."""
+    if not parts:
+        raise SimulationError("no chunk results to merge")
+    counts = {p.n_patterns for p in parts}
+    if len(counts) != 1:
+        raise SimulationError(f"chunks disagree on pattern count: {sorted(counts)}")
+    return BatchStats(
+        run_times=np.concatenate([p.run_times for p in parts]),
+        n_patterns=counts.pop(),
+        n_attempts=sum(p.n_attempts for p in parts),
+        n_fail_stop=sum(p.n_fail_stop for p in parts),
+        n_silent_detected=sum(p.n_silent_detected for p in parts),
+        n_recoveries=sum(p.n_recoveries for p in parts),
+        n_downtimes=sum(p.n_downtimes for p in parts),
+    )
+
+
+def _batch_chunk_worker(
+    rates: PatternRates,
+    n_runs: int,
+    n_patterns: int,
+    seed: np.random.SeedSequence,
+) -> BatchStats:
+    """Module-level so a process pool can pickle it."""
+    return _simulate_batch_rates(rates, n_runs, n_patterns, np.random.default_rng(seed))
+
+
+def default_chunk_runs(n_runs: int, n_patterns: int) -> int:
+    """Largest run count keeping a chunk under :data:`MAX_CHUNK_ELEMENTS`."""
+    return max(1, min(n_runs, MAX_CHUNK_ELEMENTS // max(1, n_patterns)))
+
+
+def run_chunked(
+    worker: Callable[..., BatchStats],
+    rates: PatternRates,
+    n_runs: int,
+    n_patterns: int,
+    seed: int | np.random.SeedSequence | None,
+    chunk_runs: int | None,
+    workers: int | None,
+) -> BatchStats:
+    """Shared chunk orchestration for the array backends.
+
+    Plans the run chunks, spawns one independent child stream per chunk
+    from ``seed``, runs ``worker(rates, chunk_runs, n_patterns, seed)``
+    per chunk (serially or on a process pool) and merges.  The chunk
+    plan — and therefore the sampled numbers — is a pure function of
+    the call arguments (an explicit ``workers`` request refines the
+    default plan so the pool has chunks to chew on); whether the pool
+    actually starts never changes the results, only the wall-clock.
+    """
+    from .rng import spawn_seed_sequences
+
     if n_runs <= 0 or n_patterns <= 0:
         raise SimulationError("n_runs and n_patterns must be positive")
+    if chunk_runs is None:
+        chunk_runs = default_chunk_runs(n_runs, n_patterns)
+        if workers is not None and workers > 1:
+            # An explicit worker request must actually produce enough
+            # chunks to feed the pool, even for budgets small enough to
+            # fit one memory-bounded chunk.
+            chunk_runs = min(chunk_runs, -(-n_runs // workers))
+    plan = plan_chunks(n_runs, chunk_runs)
+    seeds = spawn_seed_sequences(len(plan), seed)
+    if len(plan) == 1:
+        return worker(rates, n_runs, n_patterns, seeds[0])
+    jobs = [(rates, c, n_patterns, s) for c, s in zip(plan, seeds)]
+    return merge_batch_stats(dispatch_chunks(worker, jobs, workers))
 
-    lam_f = float(model.errors.fail_stop_rate(P))
-    lam_s = float(model.errors.silent_rate(P))
-    C = float(model.costs.checkpoint_cost(P))
-    R = float(model.costs.recovery_cost(P))
-    V = float(model.costs.verification_cost(P))
-    D = float(model.costs.downtime)
-    A = T + V  # the work + verification segment
 
-    p_ok_A = np.exp(-lam_f * A)
-    p_ok_S = np.exp(-lam_s * T)
-    p_ok_C = np.exp(-lam_f * C)
-    p_ok_R = np.exp(-lam_f * R)
-    p_success = p_ok_A * p_ok_S * p_ok_C
+def simulate_batch_chunked(
+    model: PatternModel,
+    T: float,
+    P: float,
+    n_runs: int,
+    n_patterns: int,
+    seed: int | np.random.SeedSequence | None = None,
+    *,
+    chunk_runs: int | None = None,
+    workers: int | None = None,
+) -> BatchStats:
+    """Chunked (and optionally multiprocess) :func:`simulate_batch`.
 
-    n_total = n_runs * n_patterns
-    base_time = n_patterns * (A + C)
-
-    if p_success >= 1.0:  # error-free: every attempt succeeds
-        return BatchStats(
-            run_times=np.full(n_runs, base_time),
-            n_patterns=n_patterns,
-            n_attempts=n_total,
-            n_fail_stop=0,
-            n_silent_detected=0,
-            n_recoveries=0,
-            n_downtimes=0,
-        )
-
-    # Failed attempts per pattern: geometric trials minus the success.
-    attempts = rng.geometric(p_success, size=n_total)
-    failures = attempts - 1
-    n_failures = int(failures.sum())
-    run_of_pattern = np.repeat(np.arange(n_runs), n_patterns)
-    run_of_failure = np.repeat(run_of_pattern, failures)
-
-    # Classify each failure: A (fail-stop in work+verify), B (silent
-    # detected), C (fail-stop in checkpoint) — conditional on failure.
-    q_A = -np.expm1(-lam_f * A)
-    q_B = p_ok_A * -np.expm1(-lam_s * T)
-    q_fail = 1.0 - p_success
-    u = rng.random(n_failures)
-    is_A = u < q_A / q_fail
-    is_C = u >= (q_A + q_B) / q_fail
-    is_B = ~is_A & ~is_C
-    n_A = int(is_A.sum())
-    n_B = int(is_B.sum())
-    n_C = int(is_C.sum())
-
-    cost = np.empty(n_failures)
-    if n_A:
-        cost[is_A] = truncated_exponential(rng, lam_f, A, n_A) + D
-    if n_B:
-        cost[is_B] = A
-    if n_C:
-        cost[is_C] = A + truncated_exponential(rng, lam_f, C, n_C) + D
-
-    # Every failure triggers exactly one recovery; the recovery itself
-    # is retried through a geometric number of fail-stop interruptions.
-    if lam_f > 0.0 and n_failures:
-        rec_failures = rng.geometric(p_ok_R, size=n_failures) - 1
-        n_sub = int(rec_failures.sum())
-        sub_losses = truncated_exponential(rng, lam_f, R, n_sub)
-        per_failure_loss = np.bincount(
-            np.repeat(np.arange(n_failures), rec_failures),
-            weights=sub_losses,
-            minlength=n_failures,
-        )
-        cost += R + rec_failures * D + per_failure_loss
-    else:
-        n_sub = 0
-        cost += R
-
-    run_times = base_time + np.bincount(run_of_failure, weights=cost, minlength=n_runs)
-
-    return BatchStats(
-        run_times=run_times,
-        n_patterns=n_patterns,
-        n_attempts=int(attempts.sum()),
-        n_fail_stop=n_A + n_C + n_sub,
-        n_silent_detected=n_B,
-        n_recoveries=n_failures,
-        n_downtimes=n_A + n_C + n_sub,
+    Splits the runs into chunks of ``chunk_runs`` (default: sized so a
+    chunk stays under :data:`MAX_CHUNK_ELEMENTS` cells), bounding the
+    transient per-pattern arrays of a paper-protocol budget.
+    """
+    return run_chunked(
+        _batch_chunk_worker,
+        PatternRates.from_model(model, T, P),
+        n_runs,
+        n_patterns,
+        seed,
+        chunk_runs,
+        workers,
     )

@@ -1,6 +1,6 @@
 """High-level Monte-Carlo driver used by the experiment harness.
 
-Wraps the two simulators behind one call:
+Wraps the three simulators behind one call:
 
 >>> from repro.platforms import build_model
 >>> from repro.sim import simulate_overhead
@@ -13,6 +13,22 @@ The paper's protocol (Section IV-A) averages 500 runs of at least 500
 patterns; those are the ``paper``-fidelity defaults, while tests and
 quick sweeps use far smaller numbers (the estimator is unbiased at any
 size, only the CI widens).
+
+Backends
+--------
+``"des"``
+    Event-driven reference (:func:`repro.sim.protocol.simulate_run`);
+    legible specification, ~1000x slower, for validation.
+``"batch"``
+    Per-pattern closed-form sampler (:func:`repro.sim.batch.simulate_batch`).
+``"vectorized"``
+    Whole-budget aggregated sampler
+    (:func:`repro.sim.vectorized.simulate_vectorized`); chunked and
+    optionally multiprocess, another order of magnitude faster on
+    paper-fidelity budgets.
+``"auto"`` (default)
+    ``vectorized`` for budgets of at least
+    :data:`VECTORIZED_THRESHOLD` pattern cells, ``batch`` below.
 """
 
 from __future__ import annotations
@@ -21,12 +37,22 @@ from dataclasses import dataclass
 
 from ..core.pattern import PatternModel
 from ..exceptions import SimulationError
-from .batch import simulate_batch
+from . import batch as _batch
+from .batch import simulate_batch, simulate_batch_chunked
 from .protocol import simulate_run
 from .results import OverheadEstimate, overhead_estimate
 from .rng import make_rng, spawn_rngs
+from .vectorized import simulate_vectorized
 
-__all__ = ["Fidelity", "FAST", "PAPER", "simulate_overhead"]
+__all__ = [
+    "Fidelity",
+    "FAST",
+    "PAPER",
+    "METHODS",
+    "VECTORIZED_THRESHOLD",
+    "resolve_method",
+    "simulate_overhead",
+]
 
 
 @dataclass(frozen=True)
@@ -37,11 +63,35 @@ class Fidelity:
     n_patterns: int
     name: str = "custom"
 
+    @property
+    def n_cells(self) -> int:
+        """Total pattern cells in the budget."""
+        return self.n_runs * self.n_patterns
+
 
 #: Quick sweeps / CI: wide CIs but unbiased.
 FAST = Fidelity(n_runs=50, n_patterns=100, name="fast")
 #: The paper's protocol: 500 runs, each >= 500 patterns.
 PAPER = Fidelity(n_runs=500, n_patterns=500, name="paper")
+
+#: Valid ``method=`` choices of :func:`simulate_overhead`.
+METHODS = ("auto", "batch", "des", "vectorized")
+
+#: ``method="auto"`` switches from ``batch`` to ``vectorized`` at this
+#: many ``runs x patterns`` cells (the PAPER budget is 250 000).
+VECTORIZED_THRESHOLD = 100_000
+
+
+def resolve_method(method: str, n_runs: int, n_patterns: int) -> str:
+    """Resolve ``"auto"`` to a concrete backend for the given budget."""
+    if method not in METHODS:
+        raise SimulationError(
+            f"unknown simulation method {method!r}; valid choices are "
+            + ", ".join(repr(m) for m in METHODS)
+        )
+    if method == "auto":
+        return "vectorized" if n_runs * n_patterns >= VECTORIZED_THRESHOLD else "batch"
+    return method
 
 
 def simulate_overhead(
@@ -51,7 +101,8 @@ def simulate_overhead(
     n_runs: int = FAST.n_runs,
     n_patterns: int = FAST.n_patterns,
     seed: int | None = None,
-    method: str = "batch",
+    method: str = "auto",
+    workers: int | None = None,
 ) -> OverheadEstimate:
     """Estimate the expected execution overhead of PATTERN(T, P) by simulation.
 
@@ -67,14 +118,36 @@ def simulate_overhead(
     seed:
         Master seed (default: the library-wide fixed seed).
     method:
-        ``"batch"`` (vectorised, default) or ``"des"`` (event-driven
-        reference; ~1000x slower, for validation).
+        One of :data:`METHODS`.  ``"auto"`` (default) picks
+        ``"vectorized"`` for budgets of at least
+        :data:`VECTORIZED_THRESHOLD` cells and ``"batch"`` below;
+        ``"des"`` is the event-driven reference (~1000x slower, for
+        validation).
+    workers:
+        Worker-process count for the chunk dispatch of the array
+        backends (``"des"`` ignores it).  An explicit ``workers > 1``
+        refines the chunk plan, so it selects a different (equally
+        valid) sample stream: results are reproducible for fixed call
+        arguments, and whether the pool actually starts never changes
+        the numbers — only the wall-clock.
     """
+    method = resolve_method(method, n_runs, n_patterns)
     if method == "batch":
-        stats = simulate_batch(model, T, P, n_runs, n_patterns, make_rng(seed))
+        if n_runs * n_patterns > _batch.MAX_CHUNK_ELEMENTS:
+            # Bound the per-pattern transient arrays of giant custom
+            # budgets; below the cap the single-pass sampler keeps its
+            # historical RNG stream.
+            stats = simulate_batch_chunked(
+                model, T, P, n_runs, n_patterns, seed, workers=workers
+            )
+        else:
+            stats = simulate_batch(model, T, P, n_runs, n_patterns, make_rng(seed))
         return overhead_estimate(model, T, P, stats)
-    if method == "des":
-        rngs = spawn_rngs(n_runs, seed)
-        runs = [simulate_run(model, T, P, n_patterns, rng) for rng in rngs]
-        return overhead_estimate(model, T, P, runs)
-    raise SimulationError(f"unknown simulation method {method!r}; use 'batch' or 'des'")
+    if method == "vectorized":
+        stats = simulate_vectorized(
+            model, T, P, n_runs, n_patterns, seed, workers=workers
+        )
+        return overhead_estimate(model, T, P, stats)
+    rngs = spawn_rngs(n_runs, seed)
+    runs = [simulate_run(model, T, P, n_patterns, rng) for rng in rngs]
+    return overhead_estimate(model, T, P, runs)

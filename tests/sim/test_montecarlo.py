@@ -5,7 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.sim.montecarlo import FAST, PAPER, Fidelity, simulate_overhead
+from repro.sim.montecarlo import (
+    FAST,
+    METHODS,
+    PAPER,
+    VECTORIZED_THRESHOLD,
+    Fidelity,
+    resolve_method,
+    simulate_overhead,
+)
 
 
 class TestFidelity:
@@ -51,9 +59,58 @@ class TestSimulateOverhead:
         b = simulate_overhead(hera_sc1, 6000.0, 200.0, n_runs=20, n_patterns=20, seed=9)
         assert a.mean == b.mean
 
+    def test_vectorized_matches_analytic(self, hera_sc1):
+        T, P = 6554.9, 207.0
+        est = simulate_overhead(
+            hera_sc1, T, P, n_runs=300, n_patterns=200, seed=1, method="vectorized"
+        )
+        analytic = float(hera_sc1.overhead(T, P))
+        assert abs(est.mean - analytic) < 6 * est.stderr
+
     def test_unknown_method(self, hera_sc1):
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError) as excinfo:
             simulate_overhead(hera_sc1, 6000.0, 200.0, method="quantum")
+        message = str(excinfo.value)
+        assert "quantum" in message
+        for method in METHODS:
+            assert method in message, f"error should name valid choice {method!r}"
+
+
+class TestAutoDispatch:
+    def test_small_budget_uses_batch(self):
+        assert resolve_method("auto", 50, 100) == "batch"
+
+    def test_paper_budget_uses_vectorized(self):
+        assert resolve_method("auto", PAPER.n_runs, PAPER.n_patterns) == "vectorized"
+        assert PAPER.n_cells >= VECTORIZED_THRESHOLD > FAST.n_cells
+
+    def test_explicit_method_passes_through(self):
+        assert resolve_method("des", 10**6, 10**6) == "des"
+        assert resolve_method("batch", 10**6, 10**6) == "batch"
+
+    def test_unknown_method_rejected_early(self):
+        with pytest.raises(SimulationError):
+            resolve_method("", 1, 1)
+
+    def test_auto_equals_vectorized_above_threshold(self, hera_sc1):
+        kwargs = dict(n_runs=500, n_patterns=500, seed=2)
+        auto = simulate_overhead(hera_sc1, 6554.9, 207.0, **kwargs)
+        vec = simulate_overhead(hera_sc1, 6554.9, 207.0, method="vectorized", **kwargs)
+        assert auto.mean == vec.mean
+
+    def test_batch_chunks_above_memory_cap(self, hera_sc1, monkeypatch):
+        import repro.sim.batch as batch_mod
+        from repro.sim.batch import simulate_batch_chunked
+        from repro.sim.results import overhead_estimate
+
+        monkeypatch.setattr(batch_mod, "MAX_CHUNK_ELEMENTS", 100)
+        est = simulate_overhead(
+            hera_sc1, 6000.0, 200.0, n_runs=30, n_patterns=20, seed=5, method="batch"
+        )
+        stats = simulate_batch_chunked(hera_sc1, 6000.0, 200.0, 30, 20, seed=5)
+        ref = overhead_estimate(hera_sc1, 6000.0, 200.0, stats)
+        assert est.mean == ref.mean
+        assert est.n_runs == 30
 
     def test_fractional_processors_accepted(self, hera_sc1):
         # First-order P* is continuous; the simulator must accept it.

@@ -74,14 +74,16 @@ class TestExperimentIndex:
             assert f"test_bench_{ext}.py" in benches, f"missing bench for {ext}"
 
     def test_cli_commands_in_experiments_md_exist(self):
-        from repro.experiments.runner import _FIGURES
+        # Delegates to the CLI drift guard so the test and
+        # `repro-experiments index --check` can never disagree.
+        import io
 
-        text = (REPO / "EXPERIMENTS.md").read_text()
-        referenced = set(re.findall(r"python -m repro ([\w-]+)", text))
-        referenced.discard("all")
-        referenced.discard("tables")
-        for command in referenced:
-            assert command in _FIGURES, f"EXPERIMENTS.md references unknown command {command!r}"
+        from repro.experiments.runner import check_experiments_md
+
+        stream = io.StringIO()
+        assert check_experiments_md(REPO / "EXPERIMENTS.md", stream=stream) == 0, (
+            stream.getvalue()
+        )
 
     def test_experiments_md_covers_every_figure(self):
         text = (REPO / "EXPERIMENTS.md").read_text()
