@@ -18,12 +18,16 @@ from . import (
     fig7_downtime,
 )
 from .common import FigureResult, SimSettings, simulate_mean
+from .pipeline import Deferred, SimulationPipeline, materialize
 from .runner import main, print_input_tables
 
 __all__ = [
     "FigureResult",
     "SimSettings",
     "simulate_mean",
+    "Deferred",
+    "SimulationPipeline",
+    "materialize",
     "fig2_scenarios",
     "fig3_processors",
     "fig4_alpha",

@@ -21,7 +21,7 @@ from ..io.tables import render_table
 from ..sim.montecarlo import FAST, Fidelity, simulate_overhead
 from ..sim.rng import DEFAULT_SEED
 
-__all__ = ["FigureResult", "SimSettings", "simulate_mean", "FigureResult"]
+__all__ = ["FigureResult", "SimSettings", "simulate_mean"]
 
 
 @dataclass(frozen=True)
@@ -49,7 +49,14 @@ class SimSettings:
 def simulate_mean(
     model: PatternModel, T: float, P: float, settings: SimSettings
 ) -> float | None:
-    """Simulated mean overhead of PATTERN(T, P), or None when disabled."""
+    """Simulated mean overhead of PATTERN(T, P), or None when disabled.
+
+    This is the sequential single-point reference path; the figure
+    modules batch their sweeps through
+    :class:`repro.experiments.pipeline.SimulationPipeline`, which is
+    bit-identical to calling this once per point with the same
+    settings.
+    """
     if not settings.simulate:
         return None
     n_runs, n_patterns = settings.budget()

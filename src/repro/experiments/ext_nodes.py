@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.pattern import PatternModel
 from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
 from ..platforms.scenarios import build_model
@@ -26,8 +27,37 @@ from ..sim.nodes import simulate_run_nodes
 from ..sim.rng import spawn_seed_sequences
 from ..sim.streams import WeibullArrivals
 from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline, materialize, private_pipeline
 
 __all__ = ["run"]
+
+
+def _nodes_overhead(
+    model: PatternModel,
+    T: float,
+    P: int,
+    n_patterns: int,
+    n_runs: int,
+    seed: int,
+    **kwargs,
+) -> float:
+    """Mean simulated overhead under per-node failure generation.
+
+    Module-level and picklable so the pipeline can dispatch one failure
+    regime to a pool worker; replicates the historical sequential loop
+    (same spawned seeds, same run order) bit for bit.
+    """
+    work = n_patterns * T * float(model.speedup.speedup(P))
+    seeds = spawn_seed_sequences(n_runs, seed=seed)
+    times = np.array(
+        [
+            simulate_run_nodes(
+                model, T, P, n_patterns, np.random.default_rng(ss), **kwargs
+            ).total_time
+            for ss in seeds
+        ]
+    )
+    return float(times.mean() / work)
 
 
 def run(
@@ -37,35 +67,36 @@ def run(
     alpha: float = DEFAULT_ALPHA,
     downtime: float = DEFAULT_DOWNTIME,
     settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Node-level failure-law comparison at the optimal pattern."""
+    pipe = pipeline if pipeline is not None else private_pipeline(settings)
     n_runs, n_patterns = settings.budget()
     # Event-driven per-node simulation: keep the budget interactive.
     n_runs = min(n_runs, 30)
     n_patterns = min(n_patterns, 60)
 
-    results: list[FigureResult] = []
+    panels = []
     for scenario_id in scenarios:
         model = build_model(platform, scenario_id, alpha=alpha, downtime=downtime)
         opt = optimize_allocation(model, integer=True)
         T, P = opt.period, int(opt.processors)
         lam_node = model.errors.lambda_ind * model.errors.fail_stop_fraction
         weibull = WeibullArrivals.from_mean(shape, 1.0 / lam_node)
-        work = n_patterns * T * float(model.speedup.speedup(P))
 
-        def overhead_of(seed_offset: int, **kwargs) -> float | None:
+        def overhead_of(seed_offset: int, **kwargs):
             if not settings.simulate:
                 return None
-            seeds = spawn_seed_sequences(n_runs, seed=settings.seed + seed_offset)
-            times = np.array(
-                [
-                    simulate_run_nodes(
-                        model, T, P, n_patterns, np.random.default_rng(ss), **kwargs
-                    ).total_time
-                    for ss in seeds
-                ]
+            return pipe.call(
+                _nodes_overhead,
+                model,
+                T,
+                P,
+                n_patterns,
+                n_runs,
+                settings.seed + seed_offset,
+                **kwargs,
             )
-            return float(times.mean() / work)
 
         rows = (
             ("aggregated analytic (paper)", float(model.overhead(T, P))),
@@ -76,6 +107,13 @@ def run(
                 overhead_of(3, node_process=weibull, stationary=False),
             ),
         )
+        panels.append((scenario_id, T, P, rows))
+    pipe.resolve()
+    if pipeline is None:
+        pipe.close()
+
+    results: list[FigureResult] = []
+    for scenario_id, T, P, rows in panels:
         results.append(
             FigureResult(
                 figure_id=f"ext_nodes_sc{scenario_id}_{platform.lower()}",
@@ -84,7 +122,7 @@ def run(
                     f"laws at the optimal pattern (T={T:.0f}s, P={P})"
                 ),
                 columns=("failure model", "overhead"),
-                rows=rows,
+                rows=materialize(rows),
                 notes=(
                     "exponential nodes validate Proposition 1.2 end-to-end",
                     "stationary Weibull ~ Poisson platform (Palm-Khintchine)",

@@ -20,6 +20,7 @@ from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME, PLATFORM_NAMES
 from ..platforms.scenarios import build_model
 from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline
 
 __all__ = ["run", "DEFAULT_SEGMENTS"]
 
@@ -34,11 +35,13 @@ def run(
     downtime: float = DEFAULT_DOWNTIME,
     settings: SimSettings = SimSettings(),
     all_platforms: bool = True,
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Sweep the segment count across platforms (scenario 3 by default).
 
-    ``settings`` is accepted for harness uniformity; the sweep is fully
-    analytic (the Monte-Carlo validation lives in the test suite).
+    ``settings`` and ``pipeline`` are accepted for harness uniformity;
+    the sweep is fully analytic (the Monte-Carlo validation lives in
+    the test suite).
     """
     platforms = PLATFORM_NAMES if all_platforms else (platform,)
     results: list[FigureResult] = []

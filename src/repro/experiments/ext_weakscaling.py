@@ -27,6 +27,7 @@ from ..optimize.period import optimize_period_batch
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
 from ..platforms.scenarios import build_model, scenario_costs
 from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline
 
 __all__ = ["run", "default_machine_grid"]
 
@@ -44,10 +45,12 @@ def run(
     downtime: float = DEFAULT_DOWNTIME,
     inflation_budget: float = 1.10,
     settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Strong-scaling makespan and weak-scaling inflation per machine size.
 
-    ``settings`` is accepted for harness uniformity (analytic study).
+    ``settings`` and ``pipeline`` are accepted for harness uniformity
+    (analytic study).
     """
     Ps = default_machine_grid() if machines is None else np.asarray(machines, float)
 

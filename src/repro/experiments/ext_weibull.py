@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.pattern import PatternModel
 from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
 from ..platforms.scenarios import build_model
@@ -18,10 +19,40 @@ from ..sim.renewal import simulate_run_renewal
 from ..sim.rng import spawn_seed_sequences
 from ..sim.streams import WeibullArrivals
 from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline, materialize, private_pipeline
 
 __all__ = ["run", "DEFAULT_SHAPES"]
 
 DEFAULT_SHAPES: tuple[float, ...] = (0.5, 0.7, 1.0, 1.5)
+
+
+def _renewal_overhead(
+    model: PatternModel,
+    T: float,
+    P: float,
+    n_patterns: int,
+    stream: WeibullArrivals,
+    n_runs: int,
+    seed: int,
+) -> float:
+    """Mean simulated overhead under renewal fail-stop arrivals.
+
+    Module-level and picklable-argument-only so the pipeline can ship
+    one (scenario, shape) cell to a pool worker; the seed spawning and
+    run loop replicate the historical sequential sweep bit for bit.
+    """
+    work = n_patterns * T * float(model.speedup.speedup(P))
+    seeds = spawn_seed_sequences(n_runs, seed=seed)
+    times = np.array(
+        [
+            simulate_run_renewal(
+                model, T, P, n_patterns, np.random.default_rng(ss),
+                fail_stop=stream,
+            ).total_time
+            for ss in seeds
+        ]
+    )
+    return float(times.mean() / work)
 
 
 def run(
@@ -31,8 +62,10 @@ def run(
     alpha: float = DEFAULT_ALPHA,
     downtime: float = DEFAULT_DOWNTIME,
     settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Simulated overhead of the exponential-optimal pattern per shape."""
+    pipe = pipeline if pipeline is not None else private_pipeline(settings)
     n_runs, n_patterns = settings.budget()
     # The renewal simulator is event-driven; cap the budget so the
     # extension stays interactive even at --paper settings.
@@ -46,30 +79,34 @@ def run(
         opt = optimize_allocation(model)
         T, P = opt.period, opt.processors
         lam_f = float(model.errors.fail_stop_rate(P))
-        work = n_patterns * T * float(model.speedup.speedup(P))
         row: list = [scenario_id, round(P, 1), round(T, 1), opt.overhead]
         for i, shape in enumerate(shapes):
             if not settings.simulate:
                 row.append(None)
                 continue
             stream = WeibullArrivals.from_mean(shape, 1.0 / lam_f)
-            seeds = spawn_seed_sequences(n_runs, seed=settings.seed + 1000 * i)
-            times = np.array(
-                [
-                    simulate_run_renewal(
-                        model, T, P, n_patterns, np.random.default_rng(ss),
-                        fail_stop=stream,
-                    ).total_time
-                    for ss in seeds
-                ]
+            row.append(
+                pipe.call(
+                    _renewal_overhead,
+                    model,
+                    T,
+                    P,
+                    n_patterns,
+                    stream,
+                    n_runs,
+                    settings.seed + 1000 * i,
+                )
             )
-            row.append(float(times.mean() / work))
         rows.append(tuple(row))
         notes.append(
             f"scenario {scenario_id}: pattern optimised under the exponential "
             f"assumption (T={T:.0f}s, P={P:.0f}); shape 1.0 column should "
             "match the analytic overhead"
         )
+    pipe.resolve()
+    if pipeline is None:
+        pipe.close()
+    rows = materialize(rows)
     return [
         FigureResult(
             figure_id=f"ext_weibull_{platform.lower()}",

@@ -23,7 +23,8 @@ from ..core.first_order import optimal_period
 from ..optimize.period import optimize_period_batch
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
 from ..platforms.scenarios import SCENARIO_IDS, build_model
-from .common import FigureResult, SimSettings, simulate_mean
+from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline, materialize, private_pipeline
 
 __all__ = ["run", "default_processor_grid"]
 
@@ -40,8 +41,10 @@ def run(
     alpha: float = DEFAULT_ALPHA,
     downtime: float = DEFAULT_DOWNTIME,
     settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 3 (a)-(c).  Returns three FigureResults."""
+    pipe = pipeline if pipeline is not None else private_pipeline(settings)
     P_grid = default_processor_grid() if processors is None else np.asarray(processors, float)
 
     period_rows: dict[float, list] = {P: [P] for P in P_grid}
@@ -58,9 +61,13 @@ def run(
         max_gap_pct = max(max_gap_pct, float(np.max(gap_pct)))
         for i, P in enumerate(P_grid):
             period_rows[P].append(float(T_fo[i]))
-            sim = simulate_mean(model, float(T_fo[i]), float(P), settings)
+            sim = pipe.simulate_mean(model, float(T_fo[i]), float(P), settings)
             sim_rows[P].append(sim)
             gap_rows[P].append(float(gap_pct[i]))
+    pipe.resolve()
+    if pipeline is None:
+        pipe.close()
+    sim_rows = materialize(sim_rows)
 
     sc_cols = tuple(f"scenario_{s}" for s in scenarios)
     base = f"fig3_{platform.lower()}"

@@ -21,7 +21,8 @@ from ..exceptions import ValidityError
 from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_DOWNTIME
 from ..platforms.scenarios import build_model
-from .common import FigureResult, SimSettings, simulate_mean
+from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline, materialize, private_pipeline
 
 __all__ = ["run", "DEFAULT_ALPHAS"]
 
@@ -35,8 +36,10 @@ def run(
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,
     downtime: float = DEFAULT_DOWNTIME,
     settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 4 (a)-(c).  Returns three FigureResults."""
+    pipe = pipeline if pipeline is not None else private_pipeline(settings)
     p_rows, t_rows, h_rows = [], [], []
     for alpha in alphas:
         p_row: list = [alpha]
@@ -52,15 +55,19 @@ def run(
                 P_fo = T_fo = None
             num = optimize_allocation(model)
             H_fo_sim = (
-                simulate_mean(model, T_fo, P_fo, settings) if fo is not None else None
+                pipe.simulate_mean(model, T_fo, P_fo, settings) if fo is not None else None
             )
-            H_num_sim = simulate_mean(model, num.period, num.processors, settings)
+            H_num_sim = pipe.simulate_mean(model, num.period, num.processors, settings)
             p_row += [P_fo, num.processors]
             t_row += [T_fo, num.period]
             h_row += [H_fo_sim, H_num_sim]
         p_rows.append(tuple(p_row))
         t_rows.append(tuple(t_row))
         h_rows.append(tuple(h_row))
+    pipe.resolve()
+    if pipeline is None:
+        pipe.close()
+    h_rows = materialize(h_rows)
 
     pair_cols = tuple(
         col for sc in scenarios for col in (f"sc{sc}_first_order", f"sc{sc}_optimal")

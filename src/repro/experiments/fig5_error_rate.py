@@ -25,7 +25,8 @@ from ..exceptions import ValidityError
 from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
 from ..platforms.scenarios import build_model
-from .common import FigureResult, SimSettings, simulate_mean
+from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline, materialize, private_pipeline
 
 __all__ = ["run", "default_lambda_grid"]
 
@@ -47,8 +48,10 @@ def run(
     alpha: float = DEFAULT_ALPHA,
     downtime: float = DEFAULT_DOWNTIME,
     settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 5 (a)-(c).  Returns three FigureResults."""
+    pipe = pipeline if pipeline is not None else private_pipeline(settings)
     lams = default_lambda_grid() if lambdas is None else np.asarray(lambdas, dtype=float)
 
     per_sc: dict[int, dict[str, list]] = {
@@ -72,9 +75,15 @@ def run(
             store["T_fo"].append(T_fo)
             store["T_num"].append(num.period)
             store["H_fo"].append(
-                simulate_mean(model, T_fo, P_fo, settings) if P_fo is not None else None
+                pipe.simulate_mean(model, T_fo, P_fo, settings) if P_fo is not None else None
             )
-            store["H_num"].append(simulate_mean(model, num.period, num.processors, settings))
+            store["H_num"].append(
+                pipe.simulate_mean(model, num.period, num.processors, settings)
+            )
+    pipe.resolve()
+    if pipeline is None:
+        pipe.close()
+    per_sc = materialize(per_sc)
 
     slope_notes = []
     for sc in scenarios:

@@ -22,8 +22,9 @@ from ..analysis.asymptotics import fit_loglog_slope
 from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_DOWNTIME
 from ..platforms.scenarios import build_model
-from .common import FigureResult, SimSettings, simulate_mean
+from .common import FigureResult, SimSettings
 from .fig5_error_rate import default_lambda_grid
+from .pipeline import SimulationPipeline, materialize, private_pipeline
 
 __all__ = ["run"]
 
@@ -39,8 +40,10 @@ def run(
     lambdas: np.ndarray | None = None,
     downtime: float = DEFAULT_DOWNTIME,
     settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 6 (a)-(c).  Returns three FigureResults."""
+    pipe = pipeline if pipeline is not None else private_pipeline(settings)
     lams = default_lambda_grid() if lambdas is None else np.asarray(lambdas, dtype=float)
 
     per_sc: dict[int, dict[str, list]] = {
@@ -57,8 +60,12 @@ def run(
             store["T"].append(num.period)
             store["H_pred"].append(num.overhead)
             store["H_sim"].append(
-                simulate_mean(model, num.period, num.processors, settings)
+                pipe.simulate_mean(model, num.period, num.processors, settings)
             )
+    pipe.resolve()
+    if pipeline is None:
+        pipe.close()
+    per_sc = materialize(per_sc)
 
     slope_notes = []
     for sc in scenarios:

@@ -1,0 +1,265 @@
+"""Deferred, batched simulation for the figure modules.
+
+Figure modules used to call :func:`repro.experiments.common.simulate_mean`
+once per (scenario, x-point) — hundreds of small, strictly sequential
+``simulate_overhead`` calls per full evaluation, each paying its own
+chunk-plan and (with ``--workers``) process-pool setup.  This module
+batches them:
+
+* a figure declares every Monte-Carlo point of its sweep up front by
+  calling :meth:`SimulationPipeline.simulate_mean`, which returns a
+  cheap :class:`Deferred` placeholder instead of a float;
+* once the sweep is declared, :meth:`SimulationPipeline.resolve` fuses
+  all pending points into one :class:`repro.sim.plan.SimulationPlan`,
+  dispatches every chunk job over **one shared**
+  :class:`~repro.sim.plan.WorkerPool` (reused across figures by the CLI
+  runner), consults the on-disk
+  :class:`~repro.sim.plan.ResultCache`, and fills the placeholders in;
+* :func:`materialize` swaps the placeholders inside already-built row
+  structures for their values, so figure code keeps its natural
+  row-building shape.
+
+Extension studies whose samplers are event-driven (Weibull renewal,
+per-node failures) join the same batch through
+:meth:`SimulationPipeline.call`: any picklable module-level function
+becomes a job on the shared pool, with the same content-addressed
+caching.
+
+Every value is **bit-identical** to the sequential per-point path for
+the same :class:`~repro.experiments.common.SimSettings`: the planner
+replays the exact chunk plans and seed streams of
+:func:`repro.sim.montecarlo.simulate_overhead`, and the pool width,
+cache state and dispatch order never enter the sampled numbers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..exceptions import SimulationError
+from ..sim.plan import (
+    ResultCache,
+    SimRequest,
+    WorkerPool,
+    call_key,
+    merge_spans,
+    plan_simulations,
+    run_job,
+    serve_or_expand,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (common imports sim)
+    from ..core.pattern import PatternModel
+    from .common import SimSettings
+
+__all__ = ["Deferred", "SimulationPipeline", "materialize", "private_pipeline"]
+
+
+class Deferred:
+    """Placeholder for a simulation value the pipeline has not run yet."""
+
+    __slots__ = ("_value", "_ready")
+
+    def __init__(self) -> None:
+        self._ready = False
+        self._value = None
+
+    @classmethod
+    def resolved(cls, value) -> "Deferred":
+        out = cls()
+        out._set(value)
+        return out
+
+    def _set(self, value) -> None:
+        self._value = value
+        self._ready = True
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    @property
+    def value(self):
+        if not self._ready:
+            raise SimulationError(
+                "deferred simulation value read before the pipeline resolved it; "
+                "call SimulationPipeline.resolve() first"
+            )
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deferred({self._value!r})" if self._ready else "Deferred(<pending>)"
+
+
+def private_pipeline(settings: "SimSettings") -> "SimulationPipeline":
+    """A figure module's fallback pipeline when none was passed in.
+
+    Sized from ``settings.workers`` so a direct ``run(...)`` call with
+    ``SimSettings(workers=N)`` keeps its pre-pipeline parallelism (one
+    pool for the whole sweep instead of one per point); serial
+    otherwise.  The creator must :meth:`SimulationPipeline.close` it
+    after resolving.
+    """
+    return SimulationPipeline(jobs=settings.workers if settings.workers else 1)
+
+
+def materialize(obj):
+    """Replace every :class:`Deferred` inside nested rows by its value."""
+    if isinstance(obj, Deferred):
+        return obj.value
+    if isinstance(obj, tuple):
+        return tuple(materialize(v) for v in obj)
+    if isinstance(obj, list):
+        return [materialize(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: materialize(v) for k, v in obj.items()}
+    return obj
+
+
+class SimulationPipeline:
+    """Shared pool + caches for all figure sweeps of one invocation.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count of the shared pool.  ``None`` auto-sizes
+        to the machine; ``0``/``1`` runs serially in-process.  The pool
+        is created lazily on the first parallel dispatch and reused by
+        every subsequent :meth:`resolve` until :meth:`close`.
+    cache_dir:
+        Directory of the content-addressed on-disk result cache, or
+        ``None`` to disable disk caching.  An in-memory memo always
+        deduplicates repeated points within one pipeline lifetime
+        (e.g. across the figures of ``repro-experiments all``).
+    """
+
+    def __init__(self, jobs: int | None = 1, cache_dir=None):
+        self.pool = WorkerPool(jobs)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self._memo: dict[str, object] = {}
+        self._pending: list[tuple[str, object, Deferred]] = []
+        self.points_submitted = 0
+        self.points_computed = 0
+
+    # -- declaring work ----------------------------------------------------
+
+    def simulate_mean(
+        self, model: "PatternModel", T: float, P: float, settings: "SimSettings"
+    ) -> Deferred:
+        """Deferred counterpart of :func:`repro.experiments.common.simulate_mean`.
+
+        Returns a placeholder whose ``.value`` (after :meth:`resolve`)
+        is the simulated mean overhead — or ``None`` immediately when
+        ``settings.simulate`` is off.
+        """
+        if not settings.simulate:
+            return Deferred.resolved(None)
+        n_runs, n_patterns = settings.budget()
+        request = SimRequest(
+            model=model,
+            T=float(T),
+            P=float(P),
+            n_runs=n_runs,
+            n_patterns=n_patterns,
+            seed=settings.seed,
+            method=settings.method,
+            workers=settings.workers,
+        )
+        deferred = Deferred()
+        self._pending.append(("request", request, deferred))
+        self.points_submitted += 1
+        return deferred
+
+    def call(self, fn: Callable, *args, **kwargs) -> Deferred:
+        """Defer a generic simulation call onto the shared pool.
+
+        ``fn`` must be a picklable module-level function whose result is
+        a float (the extension studies use this for their event-driven
+        sweeps); the result is cached under a key derived from the
+        function's qualified name and canonicalised arguments.
+        """
+        deferred = Deferred()
+        self._pending.append(("call", (fn, args, kwargs), deferred))
+        self.points_submitted += 1
+        return deferred
+
+    # -- running it --------------------------------------------------------
+
+    def resolve(self) -> None:
+        """Fuse every pending point into one plan and dispatch it.
+
+        Incremental: only points declared since the last resolve run;
+        the pool and caches persist across rounds.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+
+        requests = [item for kind, item, _ in pending if kind == "request"]
+        plan = plan_simulations(requests)
+
+        # Serve memo/disk hits, expand the rest into one fused job list
+        # (shared with repro.sim.plan.execute_plan), then append the
+        # generic call jobs so everything rides one pool dispatch.
+        estimates, jobs, spans = serve_or_expand(plan, self.cache, self._memo)
+
+        call_values: dict[str, object] = {}
+        call_spans: list[tuple[str, int]] = []  # (key, job index)
+        call_slots: list[tuple[object, str]] = []  # (deferred, key) in pending order
+        for kind, item, deferred in pending:
+            if kind != "call":
+                continue
+            fn, args, kwargs = item
+            key = call_key(fn, args, kwargs)
+            call_slots.append((deferred, key))
+            if key in call_values:
+                continue
+            if key in self._memo:
+                call_values[key] = self._memo[key]
+                continue
+            if self.cache is not None:
+                hit = self.cache.get_value(key)
+                if hit is not None:
+                    call_values[key] = self._memo[key] = hit
+                    continue
+            call_values[key] = None  # claimed: computed below
+            call_spans.append((key, len(jobs)))
+            jobs.append((fn, args, kwargs))
+
+        results = self.pool.map(run_job, jobs)
+        self.points_computed += len(jobs)
+
+        merge_spans(plan, estimates, spans, results, self.cache, self._memo)
+        for key, index in call_spans:
+            value = results[index]
+            call_values[key] = self._memo[key] = value
+            if self.cache is not None:
+                self.cache.put_value(key, float(value))
+
+        # Fan values back out to the deferred placeholders.
+        request_iter = iter(plan.slots)
+        call_iter = iter(call_slots)
+        for kind, _, deferred in pending:
+            if kind == "request":
+                deferred._set(estimates[next(request_iter)].mean)
+            else:
+                _, key = next(call_iter)
+                deferred._set(call_values[key])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) of the on-disk cache, or (0, 0) when disabled."""
+        if self.cache is None:
+            return (0, 0)
+        return (self.cache.hits, self.cache.misses)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "SimulationPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

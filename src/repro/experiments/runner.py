@@ -39,6 +39,7 @@ from . import (
     fig7_downtime,
 )
 from .common import FigureResult, SimSettings
+from .pipeline import SimulationPipeline
 
 __all__ = ["main", "print_input_tables", "print_command_index", "check_experiments_md"]
 
@@ -126,15 +127,36 @@ def _settings_from_args(args: argparse.Namespace) -> SimSettings:
     )
 
 
-def _run_figure(name: str, args: argparse.Namespace) -> list[FigureResult]:
+def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
+    """One shared pipeline (pool + caches) for a whole CLI invocation.
+
+    ``--jobs`` defaults to ``--workers`` so a worker request keeps its
+    pre-pipeline wall-clock meaning (parallel simulation), now served
+    by one pool shared across every figure instead of one pool per
+    simulated point; with neither flag the pipeline runs serially.
+    """
+    jobs = args.jobs if args.jobs is not None else args.workers
+    cache_dir = None if args.no_cache else args.cache_dir
+    return SimulationPipeline(jobs=1 if jobs is None else jobs, cache_dir=cache_dir)
+
+
+def _run_figure(
+    name: str,
+    args: argparse.Namespace,
+    pipeline: SimulationPipeline | None = None,
+) -> list[FigureResult]:
     settings = _settings_from_args(args)
     runner = _FIGURES[name]
     results: list[FigureResult] = []
     if name == "fig2" and args.all_platforms:
         for platform in PLATFORM_NAMES:
-            results.extend(runner(platform=platform, settings=settings))
+            results.extend(
+                runner(platform=platform, settings=settings, pipeline=pipeline)
+            )
     else:
-        results.extend(runner(platform=args.platform, settings=settings))
+        results.extend(
+            runner(platform=args.platform, settings=settings, pipeline=pipeline)
+        )
     return results
 
 
@@ -178,6 +200,25 @@ def _add_common_options(sub: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes for the vectorized backend's chunk dispatch",
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes of the fused simulation pipeline's shared "
+        "pool (default: the --workers value, else serial)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk cache of simulation results; "
+        "re-runs skip every already-computed point",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even when --cache-dir is set",
     )
     sub.add_argument("--csv", default=None, metavar="DIR", help="also dump CSV files")
 
@@ -270,13 +311,13 @@ def check_experiments_md(path: str | Path, stream=None) -> int:
     return 0
 
 
-def _write_report(args: argparse.Namespace) -> None:
+def _write_report(args: argparse.Namespace, pipeline: SimulationPipeline) -> None:
     import io as _io
 
     from ..io.report import write_report
 
     settings = _settings_from_args(args)
-    sections = [(name, _run_figure(name, args)) for name in _FIGURES]
+    sections = [(name, _run_figure(name, args, pipeline)) for name in _FIGURES]
     buffer = _io.StringIO()
     print_input_tables(stream=buffer)
     sim = (
@@ -300,13 +341,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             return check_experiments_md(args.file)
         return 0
     started = time.perf_counter()
-    if args.command == "all":
-        for name in _FIGURES:
-            _emit(_run_figure(name, args), args)
-    elif args.command == "report":
-        _write_report(args)
-    else:
-        _emit(_run_figure(args.command, args), args)
+    with _pipeline_from_args(args) as pipeline:
+        if args.command == "all":
+            for name in _FIGURES:
+                _emit(_run_figure(name, args, pipeline), args)
+        elif args.command == "report":
+            _write_report(args, pipeline)
+        else:
+            _emit(_run_figure(args.command, args, pipeline), args)
+        if pipeline.cache is not None:
+            hits, misses = pipeline.cache_stats
+            print(f"[cache] {hits} hits, {misses} misses ({pipeline.cache.directory})")
     print(f"[done in {time.perf_counter() - started:.1f}s]")
     return 0
 

@@ -108,37 +108,15 @@ def optimize_period(model: PatternModel, P: float, seed: float | None = None) ->
     )
 
 
-def optimize_period_batch(
+def _zoom_batch(
     model: PatternModel,
     P: np.ndarray,
-    points: int = 17,
-    rounds: int = 14,
-    seed_decades: float = _SEED_DECADES,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    points: int,
+    rounds: int,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised per-``P`` period optimisation.
-
-    For each entry of ``P`` the exact overhead is minimised over ``T``
-    by a per-column log-space zoom: every round evaluates one broadcast
-    ``(points, len(P))`` overhead matrix and shrinks each column's
-    bracket around its own argmin.  Precision after ``rounds`` rounds is
-    ``(2 * seed_decades) * (2/(points-1))**rounds`` decades — below 1e-9
-    relative with the defaults.
-
-    Returns
-    -------
-    (T_opt, H_opt):
-        Arrays of optimal periods and exact overheads, aligned with ``P``.
-    """
-    P = np.asarray(P, dtype=float)
-    if P.ndim != 1 or P.size == 0:
-        raise OptimizationError("P must be a non-empty 1-D array")
-    lam_eff = model.errors.fail_stop_rate(P) / 2.0 + model.errors.silent_rate(P)
-    if np.any(lam_eff <= 0.0):
-        raise OptimizationError("error-free platform: optimal period unbounded")
-    T0 = np.asarray(optimal_period(P, model.errors, model.costs), dtype=float)
-    lo = T0 * 10.0**-seed_decades
-    hi = T0 * 10.0**seed_decades
-
+    """Per-column log-space zoom of the exact overhead over ``[lo, hi]``."""
     rows = np.arange(points)[:, None]  # (points, 1)
     cols = np.arange(P.size)
     for _ in range(rounds):
@@ -159,4 +137,73 @@ def optimize_period_batch(
     # Overflowed regions of the search domain read as +inf, never NaN,
     # so downstream argmins stay well-defined.
     H_opt = np.where(np.isfinite(H_opt), H_opt, np.inf)
+    return T_opt, H_opt
+
+
+def optimize_period_batch(
+    model: PatternModel,
+    P: np.ndarray,
+    points: int = 17,
+    rounds: int = 14,
+    seed_decades: float = _SEED_DECADES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised per-``P`` period optimisation.
+
+    For each entry of ``P`` the exact overhead is minimised over ``T``
+    by a per-column log-space zoom: every round evaluates one broadcast
+    ``(points, len(P))`` overhead matrix and shrinks each column's
+    bracket around its own argmin.  Precision after ``rounds`` rounds is
+    ``(2 * seed_decades) * (2/(points-1))**rounds`` decades — below 1e-9
+    relative with the defaults.
+
+    Columns whose optimum pins to a bracket edge (the first-order seed
+    was off by more than ``seed_decades`` decades) are re-zoomed once on
+    a window widened by three decades each side — the same fallback the
+    scalar :func:`optimize_period` applies — and an
+    :class:`~repro.exceptions.OptimizationError` is raised if any column
+    is still edge-pinned after widening (the overhead appears monotone
+    over the searchable range).
+
+    Returns
+    -------
+    (T_opt, H_opt):
+        Arrays of optimal periods and exact overheads, aligned with ``P``.
+    """
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 1 or P.size == 0:
+        raise OptimizationError("P must be a non-empty 1-D array")
+    lam_eff = model.errors.fail_stop_rate(P) / 2.0 + model.errors.silent_rate(P)
+    if np.any(lam_eff <= 0.0):
+        raise OptimizationError("error-free platform: optimal period unbounded")
+    T0 = np.asarray(optimal_period(P, model.errors, model.costs), dtype=float)
+    lo = T0 * 10.0**-seed_decades
+    hi = T0 * 10.0**seed_decades
+
+    T_opt, H_opt = _zoom_batch(model, P, lo, hi, points, rounds)
+    # Columns whose overhead overflows everywhere legitimately report
+    # +inf (the outer allocation search discards them); only a *finite*
+    # optimum sitting on a bracket edge means the seed window was off.
+    pinned = ((T_opt / lo < 1.001) | (hi / T_opt < 1.001)) & np.isfinite(H_opt)
+    if np.any(pinned):
+        # The seed window missed the optimum for some columns; widen
+        # those once (1e3 each side, like the scalar path) and re-zoom
+        # only the pinned columns.
+        idx = np.flatnonzero(pinned)
+        lo_w = lo[idx] * 1e-3
+        hi_w = hi[idx] * 1e3
+        T_wide, H_wide = _zoom_batch(model, P[idx], lo_w, hi_w, points, rounds)
+        T_opt = T_opt.copy()
+        H_opt = H_opt.copy()
+        T_opt[idx] = T_wide
+        H_opt[idx] = H_wide
+        still = ((T_wide / lo_w < 1.001) | (hi_w / T_wide < 1.001)) & np.isfinite(
+            H_wide
+        )
+        if np.any(still):
+            bad = P[idx][still]
+            raise OptimizationError(
+                f"optimal period not interior to the widened bracket for "
+                f"P={np.array2string(bad, max_line_width=60)}; the overhead "
+                "appears monotone in T"
+            )
     return T_opt, H_opt

@@ -37,6 +37,16 @@ from .montecarlo import (
 )
 from .nodes import NodePool, simulate_run_nodes
 from .protocol import RunStats, TimeBreakdown, simulate_run
+from .plan import (
+    BACKEND_VERSION,
+    ResultCache,
+    SimRequest,
+    SimulationPlan,
+    WorkerPool,
+    execute_plan,
+    plan_simulations,
+    simulate_requests,
+)
 from .renewal import simulate_run_renewal
 from .vectorized import simulate_vectorized
 from .results import OverheadEstimate, overhead_estimate, overhead_samples
@@ -72,6 +82,14 @@ __all__ = [
     "VECTORIZED_THRESHOLD",
     "resolve_method",
     "simulate_overhead",
+    "BACKEND_VERSION",
+    "SimRequest",
+    "SimulationPlan",
+    "WorkerPool",
+    "ResultCache",
+    "plan_simulations",
+    "execute_plan",
+    "simulate_requests",
     "simulate_run_renewal",
     "NodePool",
     "simulate_run_nodes",

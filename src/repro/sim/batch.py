@@ -60,6 +60,7 @@ __all__ = [
     "sample_failure_costs",
     "truncated_exponential",
     "plan_chunks",
+    "plan_chunk_jobs",
     "dispatch_chunks",
     "merge_batch_stats",
     "run_chunked",
@@ -382,6 +383,35 @@ def default_chunk_runs(n_runs: int, n_patterns: int) -> int:
     return max(1, min(n_runs, MAX_CHUNK_ELEMENTS // max(1, n_patterns)))
 
 
+def plan_chunk_jobs(
+    n_runs: int,
+    n_patterns: int,
+    seed,
+    chunk_runs: int | None,
+    workers: int | None,
+) -> tuple[list[int], list[np.random.SeedSequence]]:
+    """The chunk plan and its spawned seed streams, as pure functions.
+
+    This is the single source of the chunk policy — the memory-bounded
+    default size, the ``workers > 1`` refinement, and the per-chunk
+    seed spawning — shared by :func:`run_chunked` (sequential dispatch)
+    and the fused planner in :mod:`repro.sim.plan`, so the two can
+    never drift apart (which would break the planner's bit-identity
+    guarantee and poison its cache keys).
+    """
+    from .rng import spawn_seed_sequences
+
+    if chunk_runs is None:
+        chunk_runs = default_chunk_runs(n_runs, n_patterns)
+        if workers is not None and workers > 1:
+            # An explicit worker request must actually produce enough
+            # chunks to feed the pool, even for budgets small enough to
+            # fit one memory-bounded chunk.
+            chunk_runs = min(chunk_runs, -(-n_runs // workers))
+    plan = plan_chunks(n_runs, chunk_runs)
+    return plan, spawn_seed_sequences(len(plan), seed)
+
+
 def run_chunked(
     worker: Callable[..., BatchStats],
     rates: PatternRates,
@@ -393,27 +423,18 @@ def run_chunked(
 ) -> BatchStats:
     """Shared chunk orchestration for the array backends.
 
-    Plans the run chunks, spawns one independent child stream per chunk
-    from ``seed``, runs ``worker(rates, chunk_runs, n_patterns, seed)``
-    per chunk (serially or on a process pool) and merges.  The chunk
-    plan — and therefore the sampled numbers — is a pure function of
-    the call arguments (an explicit ``workers`` request refines the
-    default plan so the pool has chunks to chew on); whether the pool
-    actually starts never changes the results, only the wall-clock.
+    Plans the run chunks via :func:`plan_chunk_jobs`, spawns one
+    independent child stream per chunk from ``seed``, runs
+    ``worker(rates, chunk_runs, n_patterns, seed)`` per chunk (serially
+    or on a process pool) and merges.  The chunk plan — and therefore
+    the sampled numbers — is a pure function of the call arguments (an
+    explicit ``workers`` request refines the default plan so the pool
+    has chunks to chew on); whether the pool actually starts never
+    changes the results, only the wall-clock.
     """
-    from .rng import spawn_seed_sequences
-
     if n_runs <= 0 or n_patterns <= 0:
         raise SimulationError("n_runs and n_patterns must be positive")
-    if chunk_runs is None:
-        chunk_runs = default_chunk_runs(n_runs, n_patterns)
-        if workers is not None and workers > 1:
-            # An explicit worker request must actually produce enough
-            # chunks to feed the pool, even for budgets small enough to
-            # fit one memory-bounded chunk.
-            chunk_runs = min(chunk_runs, -(-n_runs // workers))
-    plan = plan_chunks(n_runs, chunk_runs)
-    seeds = spawn_seed_sequences(len(plan), seed)
+    plan, seeds = plan_chunk_jobs(n_runs, n_patterns, seed, chunk_runs, workers)
     if len(plan) == 1:
         return worker(rates, n_runs, n_patterns, seeds[0])
     jobs = [(rates, c, n_patterns, s) for c, s in zip(plan, seeds)]

@@ -1,0 +1,606 @@
+"""Fused simulation planning: many Monte-Carlo points, one dispatch.
+
+The experiment harness evaluates *sweeps*: dozens of ``(model, T, P)``
+points per figure, hundreds per full evaluation.  Calling
+:func:`repro.sim.montecarlo.simulate_overhead` once per point is
+correct but wasteful — every call re-derives its own chunk plan and
+(with ``workers > 1``) spins up and tears down its own process pool,
+which at FAST fidelity costs an order of magnitude more than the
+sampling itself.  This module amortises that:
+
+* a :class:`SimRequest` names one simulation point with its full budget
+  (model, ``T``, ``P``, runs x patterns, seed, backend, workers);
+* :func:`plan_simulations` fuses a list of requests into one
+  :class:`SimulationPlan` — deduplicating identical points and grouping
+  the rest by resolved backend;
+* :func:`request_jobs` expands a request into the **exact chunk jobs
+  the sequential path would run**: the same chunk plan, the same
+  spawned ``SeedSequence`` children, the same per-chunk workers
+  (reusing :func:`repro.sim.batch.plan_chunks` /
+  :func:`~repro.sim.batch.default_chunk_runs` and the module-level
+  chunk workers).  Results are therefore **bit-identical** to per-point
+  ``simulate_overhead`` calls with the same arguments, whatever the
+  pool width;
+* :func:`execute_plan` runs all jobs of all points through one shared
+  :class:`WorkerPool` (created once, reused across figures) and merges
+  the chunks back into per-point
+  :class:`~repro.sim.results.OverheadEstimate` values;
+* :class:`ResultCache` is a content-addressed on-disk cache (one
+  ``.npz`` per point under a cache directory, keyed by a stable SHA-256
+  over the model parameters, pattern, budget, seed, backend and a
+  :data:`BACKEND_VERSION` tag) so repeated evaluations — ``all`` after
+  ``fig5``, ``report`` after ``all``, CI re-runs — skip every
+  already-computed point.
+
+The experiment-facing wrapper (deferred values, generic DES jobs for
+the extension studies, CLI flags) lives in
+:mod:`repro.experiments.pipeline`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.pattern import PatternModel
+from ..exceptions import SimulationError
+from . import batch as _batch
+from .batch import (
+    PatternRates,
+    _batch_chunk_worker,
+    merge_batch_stats,
+    plan_chunk_jobs,
+)
+from .montecarlo import FAST, resolve_method
+from .protocol import simulate_run
+from .results import OverheadEstimate, overhead_estimate
+from .rng import DEFAULT_SEED, make_rng, spawn_seed_sequences
+from .vectorized import simulate_chunk
+
+__all__ = [
+    "BACKEND_VERSION",
+    "SimRequest",
+    "SimulationPlan",
+    "WorkerPool",
+    "ResultCache",
+    "canonical_signature",
+    "request_key",
+    "plan_simulations",
+    "request_jobs",
+    "merge_request_results",
+    "run_job",
+    "serve_or_expand",
+    "merge_spans",
+    "execute_plan",
+    "simulate_requests",
+    "DISPATCH_ORDER",
+]
+
+#: Version tag mixed into every cache key.  Bump whenever a backend's
+#: sampled stream changes, so stale cached results can never be served.
+BACKEND_VERSION = 2
+
+#: Upper bound on the jobs one DES request expands into (each job
+#: simulates a consecutive slice of the request's runs).
+_DES_SLICES = 8
+
+#: Backend dispatch order, slowest first: event-driven jobs are queued
+#: ahead of the array backends so the pool's tail is short.
+DISPATCH_ORDER = ("des", "vectorized", "batch")
+
+
+# -- requests and cache keys -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One Monte-Carlo point: PATTERN(T, P) under ``model`` at a budget.
+
+    Mirrors the signature of
+    :func:`repro.sim.montecarlo.simulate_overhead`; a request is a pure
+    value object, so identical requests are fused by the planner and
+    share one computation (and one cache entry).
+    """
+
+    model: PatternModel
+    T: float
+    P: float
+    n_runs: int = FAST.n_runs
+    n_patterns: int = FAST.n_patterns
+    seed: int | None = None
+    method: str = "auto"
+    workers: int | None = None
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_runs * self.n_patterns
+
+    @property
+    def resolved_method(self) -> str:
+        """The concrete backend ``"auto"`` resolves to for this budget."""
+        return resolve_method(self.method, self.n_runs, self.n_patterns)
+
+
+def canonical_signature(obj):
+    """Stable, hashable rendition of a (nested-dataclass) parameter tree.
+
+    Floats are rendered via ``float.hex()`` so the signature is exact
+    (no repr rounding); dataclasses carry their class name so two cost
+    models with equal coefficients but different forms never collide.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (type(obj).__name__,) + tuple(
+            (f.name, canonical_signature(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj).hex()
+    if isinstance(obj, (tuple, list)):
+        return ("seq",) + tuple(canonical_signature(v) for v in obj)
+    if isinstance(obj, dict):
+        return ("map",) + tuple(
+            (k, canonical_signature(v)) for k, v in sorted(obj.items())
+        )
+    raise SimulationError(
+        f"cannot build a stable cache signature for {type(obj).__name__!r}"
+    )
+
+
+def _digest(payload: tuple) -> str:
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def _plan_workers(request: SimRequest, method: str) -> int | None:
+    """The ``workers`` value iff it enters the chunk plan, else ``None``.
+
+    ``des`` ignores workers entirely, and ``batch`` at or below
+    :data:`repro.sim.batch.MAX_CHUNK_ELEMENTS` takes the single-pass
+    branch; in both cases (and for ``workers <= 1``) the sampled
+    numbers are independent of the worker count, so it must not enter
+    the cache key.
+    """
+    if method == "des":
+        return None
+    if method == "batch" and request.n_cells <= _batch.MAX_CHUNK_ELEMENTS:
+        return None
+    if request.workers is None or request.workers <= 1:
+        return None
+    return request.workers
+
+
+def request_key(request: SimRequest) -> str:
+    """Content address of a request's result (hex SHA-256).
+
+    Two requests share a key iff the sequential path would produce the
+    same numbers for both: same model parameters, pattern, budget,
+    seed, resolved backend, chunk-plan-relevant worker count (only
+    where it actually refines the chunk plan), and backend version.
+    """
+    method = request.resolved_method
+    return _digest(
+        (
+            "overhead",
+            BACKEND_VERSION,
+            canonical_signature(request.model),
+            float(request.T).hex(),
+            float(request.P).hex(),
+            request.n_runs,
+            request.n_patterns,
+            DEFAULT_SEED if request.seed is None else request.seed,
+            method,
+            _plan_workers(request, method),
+        )
+    )
+
+
+def call_key(fn: Callable, args: tuple, kwargs: dict) -> str:
+    """Content address of a generic simulation call (extension studies)."""
+    return _digest(
+        (
+            "call",
+            BACKEND_VERSION,
+            f"{fn.__module__}.{fn.__qualname__}",
+            canonical_signature(args),
+            canonical_signature(kwargs),
+        )
+    )
+
+
+# -- planning ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimulationPlan:
+    """A fused batch of unique simulation points.
+
+    Attributes
+    ----------
+    requests:
+        The unique requests, in first-seen order.
+    slots:
+        For every *input* request (in submission order), the index of
+        its unique representative in :attr:`requests` — duplicated
+        points are computed once and fanned back out.
+    methods / keys:
+        Resolved backend and cache key per unique request.
+    """
+
+    requests: tuple[SimRequest, ...]
+    slots: tuple[int, ...]
+    methods: tuple[str, ...]
+    keys: tuple[str, ...]
+
+    @property
+    def n_points(self) -> int:
+        """Submitted points (including duplicates)."""
+        return len(self.slots)
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.requests)
+
+    def groups(self) -> dict[str, tuple[int, ...]]:
+        """Unique-request indices grouped by resolved backend.
+
+        Dispatch expands the groups slowest-backend-first (see
+        :data:`DISPATCH_ORDER`) so long event-driven jobs start while
+        the pool still has idle workers.
+        """
+        out: dict[str, list[int]] = {}
+        for i, method in enumerate(self.methods):
+            out.setdefault(method, []).append(i)
+        return {m: tuple(idx) for m, idx in out.items()}
+
+    def dispatch_order(self) -> list[int]:
+        """Unique-request indices in job-submission order."""
+        groups = self.groups()
+        return [
+            i
+            for method in sorted(groups, key=DISPATCH_ORDER.index)
+            for i in groups[method]
+        ]
+
+
+def plan_simulations(requests: Sequence[SimRequest]) -> SimulationPlan:
+    """Fuse a list of requests into one deduplicated plan.
+
+    Backend names are resolved (and validated) here, so an unknown
+    ``method`` fails at plan time rather than mid-dispatch.
+    """
+    unique: list[SimRequest] = []
+    methods: list[str] = []
+    keys: list[str] = []
+    slots: list[int] = []
+    by_key: dict[str, int] = {}
+    for request in requests:
+        key = request_key(request)  # validates method via resolved_method
+        slot = by_key.get(key)
+        if slot is None:
+            slot = len(unique)
+            by_key[key] = slot
+            unique.append(request)
+            methods.append(request.resolved_method)
+            keys.append(key)
+        slots.append(slot)
+    return SimulationPlan(
+        requests=tuple(unique),
+        slots=tuple(slots),
+        methods=tuple(methods),
+        keys=tuple(keys),
+    )
+
+
+# -- job expansion (mirrors the sequential dispatch bit for bit) -------------
+
+
+def _batch_single_job(
+    rates: PatternRates, n_runs: int, n_patterns: int, seed
+) -> _batch.BatchStats:
+    """The unchunked batch path: one generator seeded with the master seed."""
+    return _batch._simulate_batch_rates(rates, n_runs, n_patterns, make_rng(seed))
+
+
+def _des_slice_job(
+    model: PatternModel, T: float, P: float, n_patterns: int, seeds: tuple
+) -> list:
+    """A consecutive slice of a DES request's independent runs."""
+    return [
+        simulate_run(model, T, P, n_patterns, np.random.default_rng(ss))
+        for ss in seeds
+    ]
+
+
+def run_job(job: tuple) -> object:
+    """Execute one ``(fn, args, kwargs)`` job (module-level: picklable)."""
+    fn, args, kwargs = job
+    return fn(*args, **kwargs)
+
+
+def request_jobs(request: SimRequest, method: str | None = None) -> list[tuple]:
+    """Expand a request into the exact jobs of the sequential path.
+
+    The chunk plan and the spawned seed streams replicate
+    :func:`repro.sim.montecarlo.simulate_overhead` /
+    :func:`repro.sim.batch.run_chunked` as pure functions of the
+    request, so executing these jobs — in any pool, in any order — and
+    merging yields numbers bit-identical to the per-point call.
+    """
+    method = request.resolved_method if method is None else method
+    model, T, P = request.model, request.T, request.P
+    n_runs, n_patterns = request.n_runs, request.n_patterns
+    if n_runs <= 0 or n_patterns <= 0:
+        raise SimulationError("n_runs and n_patterns must be positive")
+    if method == "des":
+        seeds = spawn_seed_sequences(n_runs, request.seed)
+        size = max(1, -(-n_runs // _DES_SLICES))
+        return [
+            (_des_slice_job, (model, T, P, n_patterns, tuple(seeds[i : i + size])), {})
+            for i in range(0, n_runs, size)
+        ]
+    rates = PatternRates.from_model(model, T, P)
+    if method == "batch" and request.n_cells <= _batch.MAX_CHUNK_ELEMENTS:
+        # Single-pass sampler with its historical RNG stream.
+        return [(_batch_single_job, (rates, n_runs, n_patterns, request.seed), {})]
+    worker = _batch_chunk_worker if method == "batch" else simulate_chunk
+    chunk_plan, seeds = plan_chunk_jobs(
+        n_runs, n_patterns, request.seed, None, request.workers
+    )
+    if len(chunk_plan) == 1:
+        return [(worker, (rates, n_runs, n_patterns, seeds[0]), {})]
+    return [
+        (worker, (rates, c, n_patterns, s), {}) for c, s in zip(chunk_plan, seeds)
+    ]
+
+
+def merge_request_results(
+    request: SimRequest, method: str, parts: Sequence
+) -> OverheadEstimate:
+    """Merge a request's job results back into one overhead estimate."""
+    if not parts:
+        raise SimulationError("no job results to merge")
+    if method == "des":
+        runs = [run for part in parts for run in part]
+        return overhead_estimate(request.model, request.T, request.P, runs)
+    stats = parts[0] if len(parts) == 1 else merge_batch_stats(list(parts))
+    return overhead_estimate(request.model, request.T, request.P, stats)
+
+
+# -- shared worker pool ------------------------------------------------------
+
+
+class WorkerPool:
+    """A process pool created once and shared across all dispatches.
+
+    ``workers=None`` auto-sizes to the machine; ``workers <= 1`` (or a
+    single-core box) runs serially in-process.  Pool-infrastructure
+    failures — a sandbox refusing to fork, an unpicklable job, a killed
+    child — permanently fall back to the serial path, mirroring
+    :func:`repro.sim.batch.dispatch_chunks`; because jobs are pure
+    functions of their arguments, the fallback changes wall-clock only,
+    never results.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = (os.cpu_count() or 1) if workers is None else max(1, int(workers))
+        self._pool = None
+        self._broken = False
+
+    @property
+    def parallel(self) -> bool:
+        """Whether dispatches may actually use worker processes."""
+        return self.workers > 1 and not self._broken
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Order-preserving map over the pool (serial when unavailable)."""
+        items = list(items)
+        if self.parallel and len(items) > 1:
+            try:
+                import pickle
+                from concurrent.futures import ProcessPoolExecutor
+                from concurrent.futures.process import BrokenProcessPool
+            except ImportError:  # pragma: no cover - exotic stdlib builds
+                self._broken = True
+            else:
+                try:
+                    if self._pool is None:
+                        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                    chunksize = max(1, len(items) // (self.workers * 4))
+                    return list(self._pool.map(fn, items, chunksize=chunksize))
+                except (OSError, pickle.PicklingError, BrokenProcessPool):
+                    # pragma: no cover - depends on host sandboxing
+                    self._broken = True
+                    self.close()
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- on-disk result cache ----------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed ``.npz`` store for simulation results.
+
+    One file per result under ``directory``, named by the request's
+    SHA-256 key, written atomically (temp file + rename) so concurrent
+    runs sharing a cache directory never observe torn files.  Unreadable
+    or mismatched entries read as misses and are recomputed.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def _load(self, key: str, kind: str) -> dict | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if str(data["kind"][()]) != kind:
+                    return None
+                return {name: data[name][()] for name in data.files}
+        except Exception:
+            return None  # corrupt or foreign file: treat as a miss
+
+    def _store(self, key: str, **fields) -> None:
+        path = self._path(key)
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp.npz")
+        np.savez(tmp, **fields)
+        os.replace(tmp, path)
+
+    # -- overhead estimates ------------------------------------------------
+
+    def get_estimate(self, key: str) -> OverheadEstimate | None:
+        data = self._load(key, "estimate")
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return OverheadEstimate(
+            mean=float(data["mean"]),
+            std=float(data["std"]),
+            stderr=float(data["stderr"]),
+            ci_low=float(data["ci_low"]),
+            ci_high=float(data["ci_high"]),
+            n_runs=int(data["n_runs"]),
+        )
+
+    def put_estimate(self, key: str, estimate: OverheadEstimate) -> None:
+        self._store(
+            key,
+            kind="estimate",
+            mean=estimate.mean,
+            std=estimate.std,
+            stderr=estimate.stderr,
+            ci_low=estimate.ci_low,
+            ci_high=estimate.ci_high,
+            n_runs=estimate.n_runs,
+        )
+
+    # -- generic scalar values (extension-study DES sweeps) ----------------
+
+    def get_value(self, key: str) -> float | None:
+        data = self._load(key, "value")
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float(data["value"])
+
+    def put_value(self, key: str, value: float) -> None:
+        self._store(key, kind="value", value=float(value))
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def serve_or_expand(
+    plan: SimulationPlan,
+    cache: ResultCache | None = None,
+    memo: dict | None = None,
+) -> tuple[list, list[tuple], list[tuple[int, int, int]]]:
+    """Serve cached points; expand the rest into one fused job list.
+
+    Returns ``(estimates, jobs, spans)``: per-unique-request estimates
+    (``None`` where a job span must still run), the fused job list in
+    :meth:`SimulationPlan.dispatch_order` (slowest backend first), and
+    ``(request_index, start, stop)`` spans into the job list.  Callers
+    may append further jobs before dispatch — the spans stay valid.
+    """
+    estimates: list[OverheadEstimate | None] = [None] * plan.n_unique
+    jobs: list[tuple] = []
+    spans: list[tuple[int, int, int]] = []
+    for i in plan.dispatch_order():
+        key = plan.keys[i]
+        if memo is not None and key in memo:
+            estimates[i] = memo[key]
+            continue
+        if cache is not None:
+            hit = cache.get_estimate(key)
+            if hit is not None:
+                estimates[i] = hit
+                if memo is not None:
+                    memo[key] = hit
+                continue
+        expanded = request_jobs(plan.requests[i], plan.methods[i])
+        spans.append((i, len(jobs), len(jobs) + len(expanded)))
+        jobs.extend(expanded)
+    return estimates, jobs, spans
+
+
+def merge_spans(
+    plan: SimulationPlan,
+    estimates: list,
+    spans: Sequence[tuple[int, int, int]],
+    results: Sequence,
+    cache: ResultCache | None = None,
+    memo: dict | None = None,
+) -> list[OverheadEstimate]:
+    """Merge job results back into ``estimates`` (cache/memo write-back)."""
+    for i, start, stop in spans:
+        estimate = merge_request_results(
+            plan.requests[i], plan.methods[i], results[start:stop]
+        )
+        estimates[i] = estimate
+        if memo is not None:
+            memo[plan.keys[i]] = estimate
+        if cache is not None:
+            cache.put_estimate(plan.keys[i], estimate)
+    return estimates
+
+
+def execute_plan(
+    plan: SimulationPlan,
+    pool: WorkerPool | None = None,
+    cache: ResultCache | None = None,
+    memo: dict | None = None,
+) -> list[OverheadEstimate]:
+    """Run every unique request of ``plan`` and return aligned estimates.
+
+    Cached points are served from ``cache`` (and ``memo``) without
+    touching the pool; the remaining points expand into chunk jobs that
+    are all dispatched in **one** fused map over the shared pool, then
+    merged per point and written back to the caches.
+    """
+    estimates, jobs, spans = serve_or_expand(plan, cache, memo)
+    results = pool.map(run_job, jobs) if pool is not None else [run_job(j) for j in jobs]
+    return merge_spans(plan, estimates, spans, results, cache, memo)
+
+
+def simulate_requests(
+    requests: Sequence[SimRequest],
+    pool: WorkerPool | None = None,
+    cache: ResultCache | None = None,
+) -> list[OverheadEstimate]:
+    """Plan, execute and fan out: one estimate per *submitted* request.
+
+    Bit-identical to calling
+    :func:`repro.sim.montecarlo.simulate_overhead` once per request
+    with the same arguments, for any pool width and cache state.
+    """
+    plan = plan_simulations(requests)
+    estimates = execute_plan(plan, pool=pool, cache=cache)
+    return [estimates[slot] for slot in plan.slots]

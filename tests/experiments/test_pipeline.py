@@ -1,0 +1,181 @@
+"""Determinism of the fused simulation pipeline.
+
+The contract: for a fixed seed, the pipeline produces figure tables
+**bit-identical** to the sequential per-point path — whatever the job
+count, and whether the disk cache is cold, warm, or absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ext_nodes,
+    ext_weibull,
+    fig2_scenarios,
+    fig3_processors,
+    fig4_alpha,
+    fig5_error_rate,
+    fig6_alpha_zero,
+    fig7_downtime,
+)
+from repro.experiments.common import SimSettings, simulate_mean
+from repro.experiments.pipeline import Deferred, SimulationPipeline, materialize
+from repro.exceptions import SimulationError
+from repro.platforms.scenarios import build_model
+from repro.sim.montecarlo import Fidelity
+
+#: Tiny but non-trivial budget: every point still samples real failures.
+SETTINGS = SimSettings(fidelity=Fidelity(n_runs=8, n_patterns=12), seed=42)
+
+
+def _tiny_fig_runs(pipeline=None):
+    """One cheap invocation of every simulation-heavy figure module."""
+    return [
+        fig2_scenarios.run(scenarios=(1, 3), settings=SETTINGS, pipeline=pipeline),
+        fig3_processors.run(
+            scenarios=(1,),
+            processors=np.array([256.0, 512.0]),
+            settings=SETTINGS,
+            pipeline=pipeline,
+        ),
+        fig4_alpha.run(alphas=(0.1, 0.01), scenarios=(1,), settings=SETTINGS, pipeline=pipeline),
+        fig5_error_rate.run(
+            lambdas=np.array([1e-10, 1e-9]),
+            scenarios=(1,),
+            settings=SETTINGS,
+            pipeline=pipeline,
+        ),
+        fig6_alpha_zero.run(
+            lambdas=np.array([1e-10, 1e-9]),
+            scenarios=(1,),
+            settings=SETTINGS,
+            pipeline=pipeline,
+        ),
+        fig7_downtime.run(
+            downtimes=np.array([0.0, 3600.0]),
+            scenarios=(1,),
+            settings=SETTINGS,
+            pipeline=pipeline,
+        ),
+        ext_weibull.run(scenarios=(1,), shapes=(1.0,), settings=SETTINGS, pipeline=pipeline),
+        ext_nodes.run(scenarios=(1,), settings=SETTINGS, pipeline=pipeline),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_tables():
+    """Reference: every figure on a private serial pipeline."""
+    return _tiny_fig_runs()
+
+
+class TestTableDeterminism:
+    def test_shared_pipeline_jobs2_is_bit_identical(self, serial_tables):
+        with SimulationPipeline(jobs=2) as pipe:
+            assert _tiny_fig_runs(pipe) == serial_tables
+
+    def test_cold_then_warm_cache_is_bit_identical(self, serial_tables, tmp_path):
+        with SimulationPipeline(jobs=2, cache_dir=tmp_path) as pipe:
+            cold = _tiny_fig_runs(pipe)
+            assert pipe.cache.misses > 0 and pipe.cache.hits == 0
+        with SimulationPipeline(jobs=2, cache_dir=tmp_path) as pipe:
+            warm = _tiny_fig_runs(pipe)
+            assert pipe.cache.misses == 0 and pipe.cache.hits > 0
+        assert cold == serial_tables
+        assert warm == serial_tables
+
+    def test_repeated_run_on_one_pipeline_hits_the_memo(self):
+        with SimulationPipeline(jobs=1) as pipe:
+            first = fig2_scenarios.run(scenarios=(1,), settings=SETTINGS, pipeline=pipe)
+            computed = pipe.points_computed
+            second = fig2_scenarios.run(scenarios=(1,), settings=SETTINGS, pipeline=pipe)
+            assert second == first
+            assert pipe.points_computed == computed  # no recomputation
+
+
+class TestPointDeterminism:
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_pipeline_matches_simulate_mean(self, jobs):
+        points = [
+            (build_model("Hera", sc), T, P)
+            for sc in (1, 3)
+            for T, P in ((6000.0, 256.0), (4000.0, 512.0))
+        ]
+        sequential = [simulate_mean(m, T, P, SETTINGS) for m, T, P in points]
+        with SimulationPipeline(jobs=jobs) as pipe:
+            deferred = [pipe.simulate_mean(m, T, P, SETTINGS) for m, T, P in points]
+            pipe.resolve()
+        assert [d.value for d in deferred] == sequential
+
+    def test_workers_setting_preserved_through_pipeline(self):
+        settings = SimSettings(
+            fidelity=Fidelity(n_runs=50, n_patterns=100),
+            seed=9,
+            method="vectorized",
+            workers=2,
+        )
+        model = build_model("Hera", 1)
+        sequential = simulate_mean(model, 6000.0, 256.0, settings)
+        with SimulationPipeline(jobs=2) as pipe:
+            d = pipe.simulate_mean(model, 6000.0, 256.0, settings)
+            pipe.resolve()
+        assert d.value == sequential
+
+    def test_duplicate_points_share_one_computation(self):
+        model = build_model("Hera", 1)
+        with SimulationPipeline(jobs=1) as pipe:
+            a = pipe.simulate_mean(model, 6000.0, 256.0, SETTINGS)
+            b = pipe.simulate_mean(model, 6000.0, 256.0, SETTINGS)
+            pipe.resolve()
+            assert a.value == b.value
+            assert pipe.points_submitted == 2
+            assert pipe.points_computed == 1
+
+
+class TestPrivatePipeline:
+    def test_sized_from_settings_workers(self):
+        from repro.experiments.pipeline import private_pipeline
+
+        assert private_pipeline(SETTINGS).pool.workers == 1
+        sized = private_pipeline(
+            SimSettings(fidelity=SETTINGS.fidelity, seed=1, workers=3)
+        )
+        assert sized.pool.workers == 3
+        sized.close()
+
+    def test_direct_run_with_workers_still_bit_identical(self):
+        # A library caller passing SimSettings(workers=2) and no
+        # pipeline gets a private 2-worker pool — same numbers.
+        settings = SimSettings(fidelity=SETTINGS.fidelity, seed=42, workers=2)
+        baseline = fig2_scenarios.run(scenarios=(1,), settings=settings)
+        rerun = fig2_scenarios.run(scenarios=(1,), settings=settings)
+        assert baseline == rerun
+
+
+class TestDeferredSemantics:
+    def test_simulate_disabled_resolves_immediately(self):
+        model = build_model("Hera", 1)
+        pipe = SimulationPipeline()
+        d = pipe.simulate_mean(model, 6000.0, 256.0, SimSettings(simulate=False))
+        assert d.ready and d.value is None
+
+    def test_reading_pending_deferred_raises(self):
+        model = build_model("Hera", 1)
+        pipe = SimulationPipeline()
+        d = pipe.simulate_mean(model, 6000.0, 256.0, SETTINGS)
+        with pytest.raises(SimulationError):
+            _ = d.value
+
+    def test_materialize_walks_nested_rows(self):
+        d = Deferred.resolved(1.5)
+        rows = [(1, d, None), {"x": [d, (d,)]}]
+        assert materialize(rows) == [(1, 1.5, None), {"x": [1.5, (1.5,)]}]
+
+    def test_no_sim_figure_has_no_pending_work(self):
+        with SimulationPipeline(jobs=1) as pipe:
+            results = fig2_scenarios.run(
+                scenarios=(1,), settings=SimSettings(simulate=False), pipeline=pipe
+            )
+            assert pipe.points_submitted == 0
+        assert results[0].column("H_optimal_sim") == [None]

@@ -55,3 +55,61 @@ class TestExecution:
     def test_main_fig3_small(self, capsys):
         assert main(["fig3", "--no-sim"]) == 0
         assert "Figure 3(c)" in capsys.readouterr().out
+
+
+class TestPipelineFlags:
+    def test_jobs_defaults_to_workers(self):
+        from repro.experiments.runner import _pipeline_from_args
+
+        args = build_parser().parse_args(["fig2", "--workers", "3"])
+        with _pipeline_from_args(args) as pipe:
+            assert pipe.pool.workers == 3
+
+    def test_flagless_default_is_serial(self):
+        from repro.experiments.runner import _pipeline_from_args
+
+        args = build_parser().parse_args(["fig2"])
+        with _pipeline_from_args(args) as pipe:
+            assert pipe.pool.workers == 1
+            assert pipe.cache is None
+
+    def test_jobs_overrides_workers(self):
+        from repro.experiments.runner import _pipeline_from_args
+
+        args = build_parser().parse_args(["fig2", "--workers", "3", "--jobs", "2"])
+        with _pipeline_from_args(args) as pipe:
+            assert pipe.pool.workers == 2
+
+    def test_no_cache_bypasses_cache_dir(self, tmp_path):
+        from repro.experiments.runner import _pipeline_from_args
+
+        args = build_parser().parse_args(
+            ["fig2", "--cache-dir", str(tmp_path), "--no-cache"]
+        )
+        with _pipeline_from_args(args) as pipe:
+            assert pipe.cache is None
+
+    def test_cache_dir_enables_cache(self, tmp_path):
+        from repro.experiments.runner import _pipeline_from_args
+
+        args = build_parser().parse_args(["fig2", "--cache-dir", str(tmp_path)])
+        with _pipeline_from_args(args) as pipe:
+            assert pipe.cache is not None
+            assert pipe.cache.directory == tmp_path
+
+    def test_cli_cache_roundtrip(self, capsys, tmp_path):
+        import re
+
+        def cache_line(out: str) -> tuple[int, int]:
+            match = re.search(r"\[cache\] (\d+) hits, (\d+) misses", out)
+            assert match, out
+            return int(match.group(1)), int(match.group(2))
+
+        assert main(["fig2", "--runs", "3", "--patterns", "4",
+                     "--cache-dir", str(tmp_path)]) == 0
+        hits, misses = cache_line(capsys.readouterr().out)
+        assert hits == 0 and misses > 0
+        assert main(["fig2", "--runs", "3", "--patterns", "4",
+                     "--cache-dir", str(tmp_path)]) == 0
+        hits, misses = cache_line(capsys.readouterr().out)
+        assert misses == 0 and hits > 0

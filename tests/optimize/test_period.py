@@ -118,3 +118,51 @@ class TestBatch:
         assert np.isfinite(H[0])
         # At P = 1e10, lambda_f * C ~ 1.1e4 overflows float64: genuinely inf.
         assert H[1] == np.inf
+
+
+class TestBatchEdgePinnedBracket:
+    """Regression: edge-pinned brackets must widen once, then raise.
+
+    The scalar solver has always re-tried a 1e3-widened window when the
+    optimum pinned to a bracket edge; the batch solver used to return
+    the pinned edge silently.
+    """
+
+    def test_tiny_seed_window_recovers_after_widening(self, hera_sc1):
+        P = np.array([128.0, 512.0, 1024.0])
+        T_ref, H_ref = optimize_period_batch(hera_sc1, P)
+        # A 0.01-decade window cannot contain the optimum unless the
+        # first-order seed is essentially exact; every column pins and
+        # must be recovered by the widened re-zoom.
+        T, H = optimize_period_batch(hera_sc1, P, seed_decades=0.01)
+        np.testing.assert_allclose(T, T_ref, rtol=1e-5)
+        np.testing.assert_allclose(H, H_ref, rtol=1e-9)
+
+    def test_matches_scalar_widening(self, hera_sc1):
+        P = np.array([256.0])
+        T, H = optimize_period_batch(hera_sc1, P, seed_decades=0.01)
+        scalar = optimize_period(hera_sc1, 256.0)
+        assert T[0] == pytest.approx(scalar.period, rel=1e-5)
+        assert H[0] == pytest.approx(scalar.overhead, rel=1e-9)
+
+    def test_monotone_objective_raises_per_column(self, hera_sc1):
+        class MonotoneModel(PatternModel):
+            """Strictly decreasing overhead: no interior optimum exists."""
+
+            def overhead(self, T, P):
+                return 1.0 + 1.0 / np.asarray(T, dtype=float)
+
+        stub = MonotoneModel(
+            errors=hera_sc1.errors, costs=hera_sc1.costs, speedup=hera_sc1.speedup
+        )
+        with pytest.raises(OptimizationError, match="monotone"):
+            optimize_period_batch(stub, np.array([128.0, 512.0]), seed_decades=0.5)
+
+    def test_default_windows_are_never_pinned(self, hera_sc1, hera_sc3):
+        # The honest-seed path must be bit-unchanged by the fallback.
+        for model in (hera_sc1, hera_sc3):
+            P = np.logspace(2, 3.5, 6)
+            T, H = optimize_period_batch(model, P)
+            T0 = np.asarray(optimal_period(P, model.errors, model.costs))
+            assert np.all(T / (T0 * 1e-3) > 1.001)
+            assert np.all((T0 * 1e3) / T > 1.001)

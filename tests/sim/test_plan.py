@@ -1,0 +1,243 @@
+"""Fused simulation planning: requests, keys, cache, shared-pool dispatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.montecarlo import simulate_overhead
+from repro.sim.plan import (
+    BACKEND_VERSION,
+    ResultCache,
+    SimRequest,
+    WorkerPool,
+    canonical_signature,
+    execute_plan,
+    plan_simulations,
+    request_jobs,
+    request_key,
+    simulate_requests,
+)
+from repro.sim.results import OverheadEstimate
+
+
+@pytest.fixture
+def request_(hera_sc1) -> SimRequest:
+    return SimRequest(hera_sc1, T=6000.0, P=256.0, n_runs=8, n_patterns=10, seed=3)
+
+
+class TestCanonicalSignature:
+    def test_model_signature_is_stable(self, hera_sc1):
+        assert canonical_signature(hera_sc1) == canonical_signature(hera_sc1)
+
+    def test_float_exactness(self):
+        # hex rendering is lossless: adjacent float64 values stay distinct.
+        a = np.nextafter(0.1, 1.0)
+        assert canonical_signature(0.1) != canonical_signature(float(a))
+        assert canonical_signature(0.1) == canonical_signature(0.1)
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(SimulationError):
+            canonical_signature(object())
+
+
+class TestRequestKey:
+    def test_deterministic(self, request_):
+        assert request_key(request_) == request_key(request_)
+
+    def test_differs_by_parameters(self, hera_sc1, hera_sc3, request_):
+        base = request_key(request_)
+        variants = [
+            SimRequest(hera_sc3, 6000.0, 256.0, 8, 10, seed=3),
+            SimRequest(hera_sc1, 6001.0, 256.0, 8, 10, seed=3),
+            SimRequest(hera_sc1, 6000.0, 512.0, 8, 10, seed=3),
+            SimRequest(hera_sc1, 6000.0, 256.0, 9, 10, seed=3),
+            SimRequest(hera_sc1, 6000.0, 256.0, 8, 11, seed=3),
+            SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=4),
+            SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=3, method="des"),
+        ]
+        keys = {base} | {request_key(v) for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_workers_in_key_only_where_it_refines_the_chunk_plan(self, hera_sc1):
+        # des and single-pass batch ignore workers: same numbers, same key.
+        small = SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=3)
+        assert request_key(small) == request_key(
+            SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=3, workers=4)
+        )
+        des = SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=3, method="des")
+        assert request_key(des) == request_key(
+            SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=3, method="des", workers=4)
+        )
+        # Chunked vectorized: workers refines the plan and the stream.
+        vec = SimRequest(hera_sc1, 6000.0, 256.0, 50, 100, seed=3, method="vectorized")
+        vec4 = SimRequest(
+            hera_sc1, 6000.0, 256.0, 50, 100, seed=3, method="vectorized", workers=4
+        )
+        assert request_key(vec) != request_key(vec4)
+        # workers=1 never refines: identical to None everywhere.
+        assert request_key(vec) == request_key(
+            SimRequest(
+                hera_sc1, 6000.0, 256.0, 50, 100, seed=3, method="vectorized", workers=1
+            )
+        )
+
+    def test_auto_resolves_to_concrete_backend(self, hera_sc1):
+        # auto and its resolution share one key (and one cache entry).
+        auto = SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=3, method="auto")
+        batch = SimRequest(hera_sc1, 6000.0, 256.0, 8, 10, seed=3, method="batch")
+        assert request_key(auto) == request_key(batch)
+
+    def test_unknown_method_raises(self, hera_sc1):
+        bad = SimRequest(hera_sc1, 6000.0, 256.0, method="quantum")
+        with pytest.raises(SimulationError):
+            request_key(bad)
+
+
+class TestPlanSimulations:
+    def test_dedup_and_slots(self, hera_sc1, request_):
+        other = SimRequest(hera_sc1, 7000.0, 256.0, 8, 10, seed=3)
+        plan = plan_simulations([request_, other, request_])
+        assert plan.n_points == 3
+        assert plan.n_unique == 2
+        assert plan.slots == (0, 1, 0)
+
+    def test_groups_by_backend(self, hera_sc1, request_):
+        des = SimRequest(hera_sc1, 6000.0, 256.0, 4, 5, seed=3, method="des")
+        plan = plan_simulations([request_, des])
+        groups = plan.groups()
+        assert set(groups) == {"batch", "des"}
+
+    def test_dispatch_order_puts_slow_backends_first(self, hera_sc1, request_):
+        des = SimRequest(hera_sc1, 6000.0, 256.0, 4, 5, seed=3, method="des")
+        plan = plan_simulations([request_, des])  # batch is unique index 0
+        assert plan.dispatch_order() == [1, 0]
+        # Dispatch order never changes the returned values or alignment.
+        fused = simulate_requests([request_, des])
+        assert fused[0].n_runs == request_.n_runs
+        assert fused[1].n_runs == 4
+
+
+class TestRequestJobs:
+    def test_small_batch_is_one_job(self, request_):
+        assert len(request_jobs(request_)) == 1
+
+    def test_workers_refine_vectorized_chunks(self, hera_sc1):
+        req = SimRequest(
+            hera_sc1, 6000.0, 256.0, 50, 100, seed=3, method="vectorized", workers=2
+        )
+        assert len(request_jobs(req)) == 2
+
+    def test_des_slices_cover_all_runs(self, hera_sc1):
+        req = SimRequest(hera_sc1, 6000.0, 256.0, 20, 5, seed=3, method="des")
+        jobs = request_jobs(req)
+        total = sum(len(job[1][4]) for job in jobs)
+        assert total == 20
+
+    def test_rejects_nonpositive_budget(self, hera_sc1):
+        req = SimRequest(hera_sc1, 6000.0, 256.0, 0, 10, seed=3)
+        with pytest.raises(SimulationError):
+            request_jobs(req)
+
+
+class TestBitIdentity:
+    """The fused path must equal per-point simulate_overhead bit for bit."""
+
+    @pytest.mark.parametrize("method", ["batch", "vectorized", "des"])
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_matches_sequential(self, hera_sc1, hera_sc3, method, workers):
+        n_runs, n_patterns = (6, 8) if method == "des" else (10, 20)
+        points = [(hera_sc1, 6000.0, 256.0), (hera_sc3, 5000.0, 512.0)]
+        sequential = [
+            simulate_overhead(
+                m, T, P, n_runs, n_patterns, seed=5, method=method, workers=workers
+            )
+            for m, T, P in points
+        ]
+        requests = [
+            SimRequest(m, T, P, n_runs, n_patterns, seed=5, method=method, workers=workers)
+            for m, T, P in points
+        ]
+        fused = simulate_requests(requests)
+        assert fused == sequential
+
+    def test_pool_width_never_changes_results(self, hera_sc1):
+        requests = [
+            SimRequest(hera_sc1, 6000.0, 256.0, 10, 20, seed=5, workers=2),
+            SimRequest(hera_sc1, 7000.0, 256.0, 10, 20, seed=5, workers=2),
+        ]
+        serial = simulate_requests(requests)
+        with WorkerPool(2) as pool:
+            pooled = simulate_requests(requests, pool=pool)
+        assert serial == pooled
+
+    def test_error_free_point(self):
+        from repro.core import AmdahlSpeedup, ErrorModel, PatternModel, ResilienceCosts
+
+        model = PatternModel(
+            errors=ErrorModel(lambda_ind=0.0, fail_stop_fraction=0.5),
+            costs=ResilienceCosts.simple(checkpoint=60.0, verification=10.0),
+            speedup=AmdahlSpeedup(0.1),
+        )
+        req = SimRequest(model, 3600.0, 100.0, 5, 10, seed=1)
+        est = simulate_requests([req])[0]
+        seq = simulate_overhead(model, 3600.0, 100.0, 5, 10, seed=1)
+        assert est == seq
+
+
+class TestWorkerPool:
+    def test_serial_when_single_worker(self):
+        pool = WorkerPool(1)
+        assert not pool.parallel
+        assert pool.map(abs, [-1, -2]) == [1, 2]
+
+    def test_zero_clamps_to_serial(self):
+        assert WorkerPool(0).workers == 1
+
+    def test_parallel_map_preserves_order(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(abs, list(range(-8, 0))) == list(range(8, 0, -1))
+
+
+class TestResultCache:
+    def test_estimate_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        est = OverheadEstimate(
+            mean=0.11, std=0.01, stderr=0.002, ci_low=0.106, ci_high=0.114, n_runs=25
+        )
+        assert cache.get_estimate("k" * 64) is None
+        cache.put_estimate("k" * 64, est)
+        assert cache.get_estimate("k" * 64) == est
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_value_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_value("v" * 64, 0.125)
+        assert cache.get_value("v" * 64) == 0.125
+
+    def test_kind_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_value("x" * 64, 1.0)
+        assert cache.get_estimate("x" * 64) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("c" * 64 + ".npz")).write_bytes(b"not an npz")
+        assert cache.get_estimate("c" * 64) is None
+
+    def test_execute_plan_uses_cache(self, tmp_path, hera_sc1):
+        req = SimRequest(hera_sc1, 6000.0, 256.0, 10, 20, seed=5)
+        plan = plan_simulations([req])
+        cache = ResultCache(tmp_path)
+        cold = execute_plan(plan, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        warm = execute_plan(plan, cache=ResultCache(tmp_path))
+        assert warm == cold
+
+    def test_backend_version_isolates_entries(self, hera_sc1, request_, monkeypatch):
+        import repro.sim.plan as plan_mod
+
+        before = request_key(request_)
+        monkeypatch.setattr(plan_mod, "BACKEND_VERSION", BACKEND_VERSION + 1)
+        assert request_key(request_) != before
