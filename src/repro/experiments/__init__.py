@@ -19,7 +19,16 @@ from . import (
 )
 from .common import FigureResult, SimSettings, simulate_mean
 from .pipeline import Deferred, SimulationPipeline, materialize
+from .registry import REGISTRY, find_spec, get_spec
 from .runner import main, print_input_tables
+from .spec import (
+    AxisSpec,
+    PanelSpec,
+    StudySpec,
+    load_toml_spec,
+    run_study,
+    stage_study,
+)
 
 __all__ = [
     "FigureResult",
@@ -28,6 +37,15 @@ __all__ = [
     "Deferred",
     "SimulationPipeline",
     "materialize",
+    "REGISTRY",
+    "get_spec",
+    "find_spec",
+    "StudySpec",
+    "AxisSpec",
+    "PanelSpec",
+    "run_study",
+    "stage_study",
+    "load_toml_spec",
     "fig2_scenarios",
     "fig3_processors",
     "fig4_alpha",

@@ -27,9 +27,10 @@ from ..sim.nodes import simulate_run_nodes
 from ..sim.rng import spawn_seed_sequences
 from ..sim.streams import WeibullArrivals
 from .common import FigureResult, SimSettings
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline, materialize
+from .spec import StudyContext, StudySpec, run_study
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def _nodes_overhead(
@@ -60,41 +61,34 @@ def _nodes_overhead(
     return float(times.mean() / work)
 
 
-def run(
-    platform: str = "Hera",
-    scenarios: tuple[int, ...] = (1,),
-    shape: float = 0.7,
-    alpha: float = DEFAULT_ALPHA,
-    downtime: float = DEFAULT_DOWNTIME,
-    settings: SimSettings = SimSettings(),
-    pipeline: SimulationPipeline | None = None,
-) -> list[FigureResult]:
-    """Node-level failure-law comparison at the optimal pattern."""
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    n_runs, n_patterns = settings.budget()
+def _declare(ctx: StudyContext):
+    shape = ctx.options.get("shape", 0.7)
+    alpha = ctx.fixed["alpha"]
+    downtime = ctx.fixed["downtime"]
+    n_runs, n_patterns = ctx.settings.budget()
     # Event-driven per-node simulation: keep the budget interactive.
     n_runs = min(n_runs, 30)
     n_patterns = min(n_patterns, 60)
 
     panels = []
-    for scenario_id in scenarios:
-        model = build_model(platform, scenario_id, alpha=alpha, downtime=downtime)
+    for scenario_id in ctx.scenarios:
+        model = build_model(ctx.platform, scenario_id, alpha=alpha, downtime=downtime)
         opt = optimize_allocation(model, integer=True)
         T, P = opt.period, int(opt.processors)
         lam_node = model.errors.lambda_ind * model.errors.fail_stop_fraction
         weibull = WeibullArrivals.from_mean(shape, 1.0 / lam_node)
 
         def overhead_of(seed_offset: int, **kwargs):
-            if not settings.simulate:
+            if not ctx.settings.simulate:
                 return None
-            return pipe.call(
+            return ctx.pipeline.call(
                 _nodes_overhead,
                 model,
                 T,
                 P,
                 n_patterns,
                 n_runs,
-                settings.seed + seed_offset,
+                ctx.settings.seed + seed_offset,
                 **kwargs,
             )
 
@@ -108,17 +102,17 @@ def run(
             ),
         )
         panels.append((scenario_id, T, P, rows))
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
+    return {"panels": panels, "shape": shape, "n_runs": n_runs, "n_patterns": n_patterns}
 
+
+def _assemble(ctx: StudyContext, state: dict) -> list[FigureResult]:
     results: list[FigureResult] = []
-    for scenario_id, T, P, rows in panels:
+    for scenario_id, T, P, rows in state["panels"]:
         results.append(
             FigureResult(
-                figure_id=f"ext_nodes_sc{scenario_id}_{platform.lower()}",
+                figure_id=f"ext_nodes_sc{scenario_id}_{ctx.platform.lower()}",
                 title=(
-                    f"Extension [{platform} sc{scenario_id}]: per-node failure "
+                    f"Extension [{ctx.platform} sc{scenario_id}]: per-node failure "
                     f"laws at the optimal pattern (T={T:.0f}s, P={P})"
                 ),
                 columns=("failure model", "overhead"),
@@ -127,10 +121,43 @@ def run(
                     "exponential nodes validate Proposition 1.2 end-to-end",
                     "stationary Weibull ~ Poisson platform (Palm-Khintchine)",
                     "fresh Weibull machines pay an infant-mortality transient",
-                    f"simulation: {n_runs} runs x {n_patterns} patterns (node-level DES)"
-                    if settings.simulate
+                    f"simulation: {state['n_runs']} runs x {state['n_patterns']} "
+                    "patterns (node-level DES)"
+                    if ctx.settings.simulate
                     else "simulation disabled",
                 ),
             )
         )
     return results
+
+
+SPEC = StudySpec(
+    name="ext-nodes",
+    description="extension: per-node failure laws vs the aggregated platform",
+    scenarios=(1,),
+    platforms=("Hera",),
+    fixed={"alpha": DEFAULT_ALPHA, "downtime": DEFAULT_DOWNTIME},
+    declare=_declare,
+    assemble=_assemble,
+)
+
+
+def run(
+    platform: str = "Hera",
+    scenarios: tuple[int, ...] = (1,),
+    shape: float = 0.7,
+    alpha: float = DEFAULT_ALPHA,
+    downtime: float = DEFAULT_DOWNTIME,
+    settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
+) -> list[FigureResult]:
+    """Node-level failure-law comparison at the optimal pattern."""
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        fixed={"alpha": alpha, "downtime": downtime},
+        options={"shape": shape},
+    )

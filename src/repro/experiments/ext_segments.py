@@ -21,31 +21,23 @@ from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME, PLATFORM_NAMES
 from ..platforms.scenarios import build_model
 from .common import FigureResult, SimSettings
 from .pipeline import SimulationPipeline
+from .spec import StudyContext, StudySpec, run_study
 
-__all__ = ["run", "DEFAULT_SEGMENTS"]
+__all__ = ["run", "DEFAULT_SEGMENTS", "SPEC"]
 
 DEFAULT_SEGMENTS: tuple[int, ...] = (1, 2, 4, 8, 16)
 
 
-def run(
-    platform: str = "Hera",
-    scenarios: tuple[int, ...] = (3,),
-    segments: tuple[int, ...] = DEFAULT_SEGMENTS,
-    alpha: float = DEFAULT_ALPHA,
-    downtime: float = DEFAULT_DOWNTIME,
-    settings: SimSettings = SimSettings(),
-    all_platforms: bool = True,
-    pipeline: SimulationPipeline | None = None,
-) -> list[FigureResult]:
-    """Sweep the segment count across platforms (scenario 3 by default).
-
-    ``settings`` and ``pipeline`` are accepted for harness uniformity;
-    the sweep is fully analytic (the Monte-Carlo validation lives in
-    the test suite).
-    """
-    platforms = PLATFORM_NAMES if all_platforms else (platform,)
+def _declare(ctx: StudyContext) -> list[FigureResult]:
+    """Fully analytic: the declare phase already produces the tables."""
+    segments = ctx.options.get("segments", DEFAULT_SEGMENTS)
+    alpha = ctx.fixed["alpha"]
+    downtime = ctx.fixed["downtime"]
+    platforms = (
+        PLATFORM_NAMES if ctx.options.get("all_platforms", True) else (ctx.platform,)
+    )
     results: list[FigureResult] = []
-    for scenario_id in scenarios:
+    for scenario_id in ctx.scenarios:
         rows = []
         notes = []
         for name in platforms:
@@ -81,3 +73,43 @@ def run(
             )
         )
     return results
+
+
+SPEC = StudySpec(
+    name="ext-segments",
+    description="extension: interleaved verifications (segments per checkpoint)",
+    scenarios=(3,),
+    # One staged study: _declare iterates the platform grid itself
+    # (rows per platform), so the spec must not also fan out.
+    platforms=("Hera",),
+    fixed={"alpha": DEFAULT_ALPHA, "downtime": DEFAULT_DOWNTIME},
+    declare=_declare,
+    assemble=lambda ctx, state: state,
+)
+
+
+def run(
+    platform: str = "Hera",
+    scenarios: tuple[int, ...] = (3,),
+    segments: tuple[int, ...] = DEFAULT_SEGMENTS,
+    alpha: float = DEFAULT_ALPHA,
+    downtime: float = DEFAULT_DOWNTIME,
+    settings: SimSettings = SimSettings(),
+    all_platforms: bool = True,
+    pipeline: SimulationPipeline | None = None,
+) -> list[FigureResult]:
+    """Sweep the segment count across platforms (scenario 3 by default).
+
+    ``settings`` and ``pipeline`` are accepted for harness uniformity;
+    the sweep is fully analytic (the Monte-Carlo validation lives in
+    the test suite).
+    """
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        fixed={"alpha": alpha, "downtime": downtime},
+        options={"segments": segments, "all_platforms": all_platforms},
+    )

@@ -28,8 +28,9 @@ from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
 from ..platforms.scenarios import build_model, scenario_costs
 from .common import FigureResult, SimSettings
 from .pipeline import SimulationPipeline
+from .spec import AxisSpec, StudyContext, StudySpec, run_study
 
-__all__ = ["run", "default_machine_grid"]
+__all__ = ["run", "default_machine_grid", "SPEC"]
 
 
 def default_machine_grid() -> np.ndarray:
@@ -37,29 +38,21 @@ def default_machine_grid() -> np.ndarray:
     return 2.0 ** np.arange(7, 18)
 
 
-def run(
-    platform: str = "Hera",
-    scenarios: tuple[int, ...] = (1, 3),
-    machines: np.ndarray | None = None,
-    alpha: float = DEFAULT_ALPHA,
-    downtime: float = DEFAULT_DOWNTIME,
-    inflation_budget: float = 1.10,
-    settings: SimSettings = SimSettings(),
-    pipeline: SimulationPipeline | None = None,
-) -> list[FigureResult]:
-    """Strong-scaling makespan and weak-scaling inflation per machine size.
-
-    ``settings`` and ``pipeline`` are accepted for harness uniformity
-    (analytic study).
-    """
-    Ps = default_machine_grid() if machines is None else np.asarray(machines, float)
+def _declare(ctx: StudyContext) -> list[FigureResult]:
+    """Fully analytic: strong-scaling overhead + weak-scaling inflation."""
+    Ps = np.asarray(ctx.grid, dtype=float)
+    alpha = ctx.fixed["alpha"]
+    downtime = ctx.fixed["downtime"]
+    inflation_budget = ctx.options.get("inflation_budget", 1.10)
 
     results: list[FigureResult] = []
-    for scenario_id in scenarios:
-        strong_model = build_model(platform, scenario_id, alpha=alpha, downtime=downtime)
+    for scenario_id in ctx.scenarios:
+        strong_model = build_model(
+            ctx.platform, scenario_id, alpha=alpha, downtime=downtime
+        )
         weak_model = PatternModel(
             errors=strong_model.errors,
-            costs=scenario_costs(platform, scenario_id, downtime),
+            costs=scenario_costs(ctx.platform, scenario_id, downtime),
             speedup=GustafsonSpeedup(alpha),
         )
 
@@ -89,9 +82,9 @@ def run(
         )
         results.append(
             FigureResult(
-                figure_id=f"ext_weakscaling_sc{scenario_id}_{platform.lower()}",
+                figure_id=f"ext_weakscaling_sc{scenario_id}_{ctx.platform.lower()}",
                 title=(
-                    f"Extension [{platform} sc{scenario_id}]: strong-scaling "
+                    f"Extension [{ctx.platform} sc{scenario_id}]: strong-scaling "
                     "overhead and weak-scaling failure inflation vs machine size"
                 ),
                 columns=(
@@ -113,3 +106,42 @@ def run(
             )
         )
     return results
+
+
+SPEC = StudySpec(
+    name="ext-weakscaling",
+    description="extension: weak vs strong scaling under failures",
+    scenarios=(1, 3),
+    platforms=("Hera",),
+    axis=AxisSpec(name="machines", header="P", grid=default_machine_grid),
+    fixed={"alpha": DEFAULT_ALPHA, "downtime": DEFAULT_DOWNTIME},
+    declare=_declare,
+    assemble=lambda ctx, state: state,
+)
+
+
+def run(
+    platform: str = "Hera",
+    scenarios: tuple[int, ...] = (1, 3),
+    machines: np.ndarray | None = None,
+    alpha: float = DEFAULT_ALPHA,
+    downtime: float = DEFAULT_DOWNTIME,
+    inflation_budget: float = 1.10,
+    settings: SimSettings = SimSettings(),
+    pipeline: SimulationPipeline | None = None,
+) -> list[FigureResult]:
+    """Strong-scaling makespan and weak-scaling inflation per machine size.
+
+    ``settings`` and ``pipeline`` are accepted for harness uniformity
+    (analytic study).
+    """
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        grid=None if machines is None else np.asarray(machines, float),
+        fixed={"alpha": alpha, "downtime": downtime},
+        options={"inflation_budget": inflation_budget},
+    )

@@ -19,9 +19,10 @@ from ..sim.renewal import simulate_run_renewal
 from ..sim.rng import spawn_seed_sequences
 from ..sim.streams import WeibullArrivals
 from .common import FigureResult, SimSettings
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline, materialize
+from .spec import StudyContext, StudySpec, run_study
 
-__all__ = ["run", "DEFAULT_SHAPES"]
+__all__ = ["run", "DEFAULT_SHAPES", "SPEC"]
 
 DEFAULT_SHAPES: tuple[float, ...] = (0.5, 0.7, 1.0, 1.5)
 
@@ -55,6 +56,88 @@ def _renewal_overhead(
     return float(times.mean() / work)
 
 
+def _declare(ctx: StudyContext):
+    shapes = ctx.options.get("shapes", DEFAULT_SHAPES)
+    alpha = ctx.fixed["alpha"]
+    downtime = ctx.fixed["downtime"]
+    n_runs, n_patterns = ctx.settings.budget()
+    # The renewal simulator is event-driven; cap the budget so the
+    # extension stays interactive even at --paper settings.
+    n_runs = min(n_runs, 60)
+    n_patterns = min(n_patterns, 100)
+
+    rows = []
+    notes = []
+    for scenario_id in ctx.scenarios:
+        model = build_model(ctx.platform, scenario_id, alpha=alpha, downtime=downtime)
+        opt = optimize_allocation(model)
+        T, P = opt.period, opt.processors
+        lam_f = float(model.errors.fail_stop_rate(P))
+        row: list = [scenario_id, round(P, 1), round(T, 1), opt.overhead]
+        for i, shape in enumerate(shapes):
+            if not ctx.settings.simulate:
+                row.append(None)
+                continue
+            stream = WeibullArrivals.from_mean(shape, 1.0 / lam_f)
+            row.append(
+                ctx.pipeline.call(
+                    _renewal_overhead,
+                    model,
+                    T,
+                    P,
+                    n_patterns,
+                    stream,
+                    n_runs,
+                    ctx.settings.seed + 1000 * i,
+                )
+            )
+        rows.append(tuple(row))
+        notes.append(
+            f"scenario {scenario_id}: pattern optimised under the exponential "
+            f"assumption (T={T:.0f}s, P={P:.0f}); shape 1.0 column should "
+            "match the analytic overhead"
+        )
+    return {
+        "rows": rows,
+        "notes": notes,
+        "shapes": shapes,
+        "n_runs": n_runs,
+        "n_patterns": n_patterns,
+    }
+
+
+def _assemble(ctx: StudyContext, state: dict) -> list[FigureResult]:
+    shapes = state["shapes"]
+    return [
+        FigureResult(
+            figure_id=f"ext_weibull_{ctx.platform.lower()}",
+            title=(
+                f"Extension [{ctx.platform}]: exponential-optimal pattern under "
+                "Weibull fail-stop arrivals (equal MTBF)"
+            ),
+            columns=("scenario", "P_opt", "T_opt", "H_analytic")
+            + tuple(f"H_sim(shape={s:g})" for s in shapes),
+            rows=tuple(materialize(state["rows"])),
+            notes=tuple(state["notes"])
+            + (
+                f"simulation: {state['n_runs']} runs x {state['n_patterns']} patterns "
+                "(renewal DES)",
+            ),
+        )
+    ]
+
+
+SPEC = StudySpec(
+    name="ext-weibull",
+    description="extension: robustness under Weibull fail-stop arrivals",
+    scenarios=(1, 3),
+    platforms=("Hera",),
+    fixed={"alpha": DEFAULT_ALPHA, "downtime": DEFAULT_DOWNTIME},
+    declare=_declare,
+    assemble=_assemble,
+)
+
+
 def run(
     platform: str = "Hera",
     scenarios: tuple[int, ...] = (1, 3),
@@ -65,62 +148,12 @@ def run(
     pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Simulated overhead of the exponential-optimal pattern per shape."""
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    n_runs, n_patterns = settings.budget()
-    # The renewal simulator is event-driven; cap the budget so the
-    # extension stays interactive even at --paper settings.
-    n_runs = min(n_runs, 60)
-    n_patterns = min(n_patterns, 100)
-
-    rows = []
-    notes = []
-    for scenario_id in scenarios:
-        model = build_model(platform, scenario_id, alpha=alpha, downtime=downtime)
-        opt = optimize_allocation(model)
-        T, P = opt.period, opt.processors
-        lam_f = float(model.errors.fail_stop_rate(P))
-        row: list = [scenario_id, round(P, 1), round(T, 1), opt.overhead]
-        for i, shape in enumerate(shapes):
-            if not settings.simulate:
-                row.append(None)
-                continue
-            stream = WeibullArrivals.from_mean(shape, 1.0 / lam_f)
-            row.append(
-                pipe.call(
-                    _renewal_overhead,
-                    model,
-                    T,
-                    P,
-                    n_patterns,
-                    stream,
-                    n_runs,
-                    settings.seed + 1000 * i,
-                )
-            )
-        rows.append(tuple(row))
-        notes.append(
-            f"scenario {scenario_id}: pattern optimised under the exponential "
-            f"assumption (T={T:.0f}s, P={P:.0f}); shape 1.0 column should "
-            "match the analytic overhead"
-        )
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
-    rows = materialize(rows)
-    return [
-        FigureResult(
-            figure_id=f"ext_weibull_{platform.lower()}",
-            title=(
-                f"Extension [{platform}]: exponential-optimal pattern under "
-                "Weibull fail-stop arrivals (equal MTBF)"
-            ),
-            columns=("scenario", "P_opt", "T_opt", "H_analytic")
-            + tuple(f"H_sim(shape={s:g})" for s in shapes),
-            rows=tuple(rows),
-            notes=tuple(notes)
-            + (
-                f"simulation: {n_runs} runs x {n_patterns} patterns "
-                "(renewal DES)",
-            ),
-        )
-    ]
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        fixed={"alpha": alpha, "downtime": downtime},
+        options={"shapes": shapes},
+    )

@@ -17,15 +17,78 @@ overheads ≈ 0.11 at ``alpha = 0.1``.
 
 from __future__ import annotations
 
-from ..core.first_order import optimal_pattern
-from ..exceptions import ValidityError
-from ..optimize.allocation import optimize_allocation
-from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
-from ..platforms.scenarios import SCENARIO_IDS, build_model
+from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME, PLATFORM_NAMES
+from ..platforms.scenarios import SCENARIO_IDS
 from .common import FigureResult, SimSettings
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline
+from .spec import PanelSpec, StudyContext, StudySpec, run_study
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+
+def _max_gap_note(ctx: StudyContext, data: dict) -> str:
+    max_gap = 0.0
+    for sc in ctx.scenarios:
+        h_fo = data[sc]["H_pred_fo"][0]
+        if h_fo is not None:
+            max_gap = max(max_gap, abs(h_fo - data[sc]["H_pred_num"][0]))
+    return (
+        "max |H_fo - H_opt| prediction gap over closed-form scenarios: "
+        f"{max_gap:.5f}"
+    )
+
+
+def _sim_note(ctx: StudyContext, data: dict) -> str:
+    s = ctx.settings
+    if not s.simulate:
+        return "simulation disabled"
+    return (
+        f"simulation: {s.fidelity.n_runs} runs x "
+        f"{s.fidelity.n_patterns} patterns, seed {s.seed}"
+    )
+
+
+SPEC = StudySpec(
+    name="fig2",
+    description="optimal patterns per scenario and platform",
+    scenarios=SCENARIO_IDS,
+    platforms=tuple(PLATFORM_NAMES),
+    axis=None,  # rows are the Table-III scenarios themselves
+    fixed={"alpha": DEFAULT_ALPHA, "downtime": DEFAULT_DOWNTIME},
+    figure_base="fig2_{platform_l}",
+    supports_all_platforms=True,
+    panels=(
+        PanelSpec(
+            suffix="",
+            title=(
+                "Figure 2 [{platform}]: optimal patterns per scenario "
+                "(alpha={alpha:g}, D={downtime:g}s)"
+            ),
+            columns=(
+                "P_fo",
+                "P_num",
+                "T_fo",
+                "T_num",
+                "H_pred_fo",
+                "H_pred_num",
+                "H_sim_fo",
+                "H_sim_num",
+            ),
+            headers=(
+                "scenario",
+                "P*_first_order",
+                "P*_optimal",
+                "T*_first_order",
+                "T*_optimal",
+                "H_first_order_pred",
+                "H_optimal_pred",
+                "H_first_order_sim",
+                "H_optimal_sim",
+            ),
+            notes=(_max_gap_note, _sim_note),
+        ),
+    ),
+)
 
 
 def run(
@@ -42,73 +105,11 @@ def run(
     The Monte-Carlo points are declared up front and resolved in one
     fused batch on ``pipeline`` (or a private serial one).
     """
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    rows = []
-    max_gap = 0.0
-    for sc in scenarios:
-        model = build_model(platform, sc, alpha=alpha, downtime=downtime)
-        # First-order closed form (None for scenario 6 / decaying regime).
-        try:
-            fo = optimal_pattern(model)
-            P_fo, T_fo, H_fo_pred = fo.processors, fo.period, fo.overhead
-        except ValidityError:
-            fo = None
-            P_fo = T_fo = H_fo_pred = None
-        # Numerical optimum of the exact model.
-        num = optimize_allocation(model)
-        H_num_pred = num.overhead
-        # Monte-Carlo validation at both patterns (deferred).
-        H_fo_sim = (
-            pipe.simulate_mean(model, T_fo, P_fo, settings) if fo is not None else None
-        )
-        H_num_sim = pipe.simulate_mean(model, num.period, num.processors, settings)
-        if fo is not None:
-            max_gap = max(max_gap, abs(H_fo_pred - H_num_pred))
-        rows.append(
-            (
-                sc,
-                P_fo,
-                num.processors,
-                T_fo,
-                num.period,
-                H_fo_pred,
-                H_num_pred,
-                H_fo_sim,
-                H_num_sim,
-            )
-        )
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
-    rows = materialize(rows)
-    sim_note = (
-        f"simulation: {settings.fidelity.n_runs} runs x "
-        f"{settings.fidelity.n_patterns} patterns, seed {settings.seed}"
-        if settings.simulate
-        else "simulation disabled"
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        fixed={"alpha": alpha, "downtime": downtime},
     )
-    return [
-        FigureResult(
-            figure_id=f"fig2_{platform.lower()}",
-            title=(
-                f"Figure 2 [{platform}]: optimal patterns per scenario "
-                f"(alpha={alpha:g}, D={downtime:g}s)"
-            ),
-            columns=(
-                "scenario",
-                "P*_first_order",
-                "P*_optimal",
-                "T*_first_order",
-                "T*_optimal",
-                "H_first_order_pred",
-                "H_optimal_pred",
-                "H_first_order_sim",
-                "H_optimal_sim",
-            ),
-            rows=tuple(rows),
-            notes=(
-                f"max |H_fo - H_opt| prediction gap over closed-form scenarios: {max_gap:.5f}",
-                sim_note,
-            ),
-        )
-    ]

@@ -22,16 +22,83 @@ import numpy as np
 from ..core.first_order import optimal_period
 from ..optimize.period import optimize_period_batch
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
-from ..platforms.scenarios import SCENARIO_IDS, build_model
+from ..platforms.scenarios import SCENARIO_IDS
 from .common import FigureResult, SimSettings
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline
+from .spec import AxisSpec, PanelSpec, StudyContext, StudySpec, run_study
 
-__all__ = ["run", "default_processor_grid"]
+__all__ = ["run", "default_processor_grid", "SPEC"]
 
 
 def default_processor_grid() -> np.ndarray:
     """The paper's x-range: a dense sweep of 128..1536 processors."""
     return np.arange(128, 1537, 128, dtype=float)
+
+
+def _sweep_scenario(ctx: StudyContext, model, sc: int) -> dict:
+    """Vectorized per-scenario evaluation over the whole P grid.
+
+    Uses the batch period optimizer (same bracket-widening path as the
+    historical figure) so the analytic columns stay bit-identical to
+    the per-figure code this spec replaced.
+    """
+    P_grid = np.asarray(ctx.grid, dtype=float)
+    T_fo = np.asarray(optimal_period(P_grid, model.errors, model.costs))
+    H_fo = np.asarray(model.overhead(T_fo, P_grid))
+    _, H_num = optimize_period_batch(model, P_grid)
+    gap_pct = (H_fo - H_num) * 100.0
+    return {
+        "T_fo": [float(v) for v in T_fo],
+        "H_sim": [
+            ctx.pipeline.simulate_mean(model, float(T_fo[i]), float(P), ctx.settings)
+            for i, P in enumerate(P_grid)
+        ],
+        "gap_pct": [float(v) for v in gap_pct],
+    }
+
+
+def _gap_note(ctx: StudyContext, data: dict) -> str:
+    max_gap_pct = 0.0
+    for sc in ctx.scenarios:
+        max_gap_pct = max(max_gap_pct, float(np.max(np.asarray(data[sc]["gap_pct"]))))
+    return f"max gap {max_gap_pct:.4f} percentage points (paper: < 0.2%)"
+
+
+_NOTE = "platform {platform}, alpha={alpha:g}, D={downtime:g}s"
+
+SPEC = StudySpec(
+    name="fig3",
+    description="sweep of the processor count (period, overhead, first-order gap)",
+    scenarios=SCENARIO_IDS,
+    platforms=("Hera",),
+    axis=AxisSpec(name="processors", header="P", grid=default_processor_grid),
+    fixed={"alpha": DEFAULT_ALPHA, "downtime": DEFAULT_DOWNTIME},
+    figure_base="fig3_{platform_l}",
+    scenario_eval=_sweep_scenario,
+    panels=(
+        PanelSpec(
+            suffix="a_period",
+            title="Figure 3(a) [{platform}]: first-order optimal period T*_P vs P",
+            columns=("T_fo",),
+            notes=(_NOTE, "T*_P decreases with P except when C_P = cP (flat)"),
+        ),
+        PanelSpec(
+            suffix="b_overhead",
+            title="Figure 3(b) [{platform}]: simulated overhead at (T*_P, P) vs P",
+            columns=("H_sim",),
+            notes=(_NOTE, "U-shape: parallelism gains then failure losses"),
+        ),
+        PanelSpec(
+            suffix="c_gap",
+            title=(
+                "Figure 3(c) [{platform}]: overhead excess of first-order period "
+                "over numerical optimum (percentage points)"
+            ),
+            columns=("gap_pct",),
+            notes=(_NOTE, _gap_note),
+        ),
+    ),
+)
 
 
 def run(
@@ -44,60 +111,12 @@ def run(
     pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 3 (a)-(c).  Returns three FigureResults."""
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    P_grid = default_processor_grid() if processors is None else np.asarray(processors, float)
-
-    period_rows: dict[float, list] = {P: [P] for P in P_grid}
-    sim_rows: dict[float, list] = {P: [P] for P in P_grid}
-    gap_rows: dict[float, list] = {P: [P] for P in P_grid}
-    max_gap_pct = 0.0
-
-    for sc in scenarios:
-        model = build_model(platform, sc, alpha=alpha, downtime=downtime)
-        T_fo = np.asarray(optimal_period(P_grid, model.errors, model.costs))
-        H_fo = np.asarray(model.overhead(T_fo, P_grid))
-        T_num, H_num = optimize_period_batch(model, P_grid)
-        gap_pct = (H_fo - H_num) * 100.0
-        max_gap_pct = max(max_gap_pct, float(np.max(gap_pct)))
-        for i, P in enumerate(P_grid):
-            period_rows[P].append(float(T_fo[i]))
-            sim = pipe.simulate_mean(model, float(T_fo[i]), float(P), settings)
-            sim_rows[P].append(sim)
-            gap_rows[P].append(float(gap_pct[i]))
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
-    sim_rows = materialize(sim_rows)
-
-    sc_cols = tuple(f"scenario_{s}" for s in scenarios)
-    base = f"fig3_{platform.lower()}"
-    common_note = f"platform {platform}, alpha={alpha:g}, D={downtime:g}s"
-    return [
-        FigureResult(
-            figure_id=f"{base}a_period",
-            title=f"Figure 3(a) [{platform}]: first-order optimal period T*_P vs P",
-            columns=("P",) + sc_cols,
-            rows=tuple(tuple(period_rows[P]) for P in P_grid),
-            notes=(common_note, "T*_P decreases with P except when C_P = cP (flat)"),
-        ),
-        FigureResult(
-            figure_id=f"{base}b_overhead",
-            title=f"Figure 3(b) [{platform}]: simulated overhead at (T*_P, P) vs P",
-            columns=("P",) + sc_cols,
-            rows=tuple(tuple(sim_rows[P]) for P in P_grid),
-            notes=(common_note, "U-shape: parallelism gains then failure losses"),
-        ),
-        FigureResult(
-            figure_id=f"{base}c_gap",
-            title=(
-                f"Figure 3(c) [{platform}]: overhead excess of first-order period "
-                "over numerical optimum (percentage points)"
-            ),
-            columns=("P",) + sc_cols,
-            rows=tuple(tuple(gap_rows[P]) for P in P_grid),
-            notes=(
-                common_note,
-                f"max gap {max_gap_pct:.4f} percentage points (paper: < 0.2%)",
-            ),
-        ),
-    ]
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        grid=None if processors is None else np.asarray(processors, float),
+        fixed={"alpha": alpha, "downtime": downtime},
+    )

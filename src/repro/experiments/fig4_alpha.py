@@ -16,18 +16,52 @@ numerical ``P*`` stays finite with overhead strictly above 1e-5.
 
 from __future__ import annotations
 
-from ..core.first_order import optimal_pattern
-from ..exceptions import ValidityError
-from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_DOWNTIME
-from ..platforms.scenarios import build_model
 from .common import FigureResult, SimSettings
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline
+from .spec import AxisSpec, PanelSpec, StudySpec, run_study
 
-__all__ = ["run", "DEFAULT_ALPHAS"]
+__all__ = ["run", "DEFAULT_ALPHAS", "SPEC"]
 
 #: The paper's x-axis, largest to smallest (0 = perfectly parallel).
 DEFAULT_ALPHAS: tuple[float, ...] = (0.1, 0.01, 0.001, 0.0001, 0.0)
+
+_NOTE = "platform {platform}, D={downtime:g}s, scenarios {scenarios}"
+
+SPEC = StudySpec(
+    name="fig4",
+    description="sweep of the sequential fraction alpha",
+    scenarios=(1, 3, 5),
+    platforms=("Hera",),
+    axis=AxisSpec(
+        name="alpha",
+        header="alpha",
+        model_kwarg="alpha",
+        grid=lambda: DEFAULT_ALPHAS,
+    ),
+    fixed={"downtime": DEFAULT_DOWNTIME},
+    figure_base="fig4_{platform_l}",
+    panels=(
+        PanelSpec(
+            suffix="a_processors",
+            title="Figure 4(a) [{platform}]: optimal processor count P* vs alpha",
+            columns=("P_fo", "P_num"),
+            notes=(_NOTE, "P* grows as alpha decreases; finite even at alpha=0"),
+        ),
+        PanelSpec(
+            suffix="b_period",
+            title="Figure 4(b) [{platform}]: optimal period T* vs alpha",
+            columns=("T_fo", "T_num"),
+            notes=(_NOTE, "T* shrinks with alpha except scenario 1 (P-independent)"),
+        ),
+        PanelSpec(
+            suffix="c_overhead",
+            title="Figure 4(c) [{platform}]: simulated overhead vs alpha",
+            columns=("H_sim_fo", "H_sim_num"),
+            notes=(_NOTE, "overhead approaches the alpha floor; sc5 wins at small alpha"),
+        ),
+    ),
+)
 
 
 def run(
@@ -39,61 +73,12 @@ def run(
     pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 4 (a)-(c).  Returns three FigureResults."""
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    p_rows, t_rows, h_rows = [], [], []
-    for alpha in alphas:
-        p_row: list = [alpha]
-        t_row: list = [alpha]
-        h_row: list = [alpha]
-        for sc in scenarios:
-            model = build_model(platform, sc, alpha=alpha, downtime=downtime)
-            try:
-                fo = optimal_pattern(model)
-                P_fo, T_fo = fo.processors, fo.period
-            except ValidityError:  # alpha == 0, or decaying regime
-                fo = None
-                P_fo = T_fo = None
-            num = optimize_allocation(model)
-            H_fo_sim = (
-                pipe.simulate_mean(model, T_fo, P_fo, settings) if fo is not None else None
-            )
-            H_num_sim = pipe.simulate_mean(model, num.period, num.processors, settings)
-            p_row += [P_fo, num.processors]
-            t_row += [T_fo, num.period]
-            h_row += [H_fo_sim, H_num_sim]
-        p_rows.append(tuple(p_row))
-        t_rows.append(tuple(t_row))
-        h_rows.append(tuple(h_row))
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
-    h_rows = materialize(h_rows)
-
-    pair_cols = tuple(
-        col for sc in scenarios for col in (f"sc{sc}_first_order", f"sc{sc}_optimal")
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        grid=alphas,
+        fixed={"downtime": downtime},
     )
-    base = f"fig4_{platform.lower()}"
-    note = f"platform {platform}, D={downtime:g}s, scenarios {scenarios}"
-    return [
-        FigureResult(
-            figure_id=f"{base}a_processors",
-            title=f"Figure 4(a) [{platform}]: optimal processor count P* vs alpha",
-            columns=("alpha",) + pair_cols,
-            rows=tuple(p_rows),
-            notes=(note, "P* grows as alpha decreases; finite even at alpha=0"),
-        ),
-        FigureResult(
-            figure_id=f"{base}b_period",
-            title=f"Figure 4(b) [{platform}]: optimal period T* vs alpha",
-            columns=("alpha",) + pair_cols,
-            rows=tuple(t_rows),
-            notes=(note, "T* shrinks with alpha except scenario 1 (P-independent)"),
-        ),
-        FigureResult(
-            figure_id=f"{base}c_overhead",
-            title=f"Figure 4(c) [{platform}]: simulated overhead vs alpha",
-            columns=("alpha",) + pair_cols,
-            rows=tuple(h_rows),
-            notes=(note, "overhead approaches the alpha floor; sc5 wins at small alpha"),
-        ),
-    ]

@@ -20,15 +20,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.asymptotics import fit_loglog_slope
-from ..core.first_order import optimal_pattern
-from ..exceptions import ValidityError
-from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME
-from ..platforms.scenarios import build_model
 from .common import FigureResult, SimSettings
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline
+from .spec import AxisSpec, PanelSpec, StudyContext, StudySpec, run_study
 
-__all__ = ["run", "default_lambda_grid"]
+__all__ = ["run", "default_lambda_grid", "SPEC"]
 
 
 def default_lambda_grid() -> np.ndarray:
@@ -41,6 +38,58 @@ def _expected_orders(sc: int) -> tuple[float, float]:
     return (0.25, 0.5) if sc in (1, 2) else (1.0 / 3.0, 1.0 / 3.0)
 
 
+def _slope_notes(ctx: StudyContext, data: dict) -> list[str]:
+    lams = np.asarray(ctx.grid, dtype=float)
+    notes = []
+    for sc in ctx.scenarios:
+        x_exp, y_exp = _expected_orders(sc)
+        p_fit = fit_loglog_slope(lams, np.asarray(data[sc]["P_num"], dtype=float))
+        t_fit = fit_loglog_slope(lams, np.asarray(data[sc]["T_num"], dtype=float))
+        notes.append(
+            f"scenario {sc}: fitted P* order {p_fit.slope:+.3f} (theory {-x_exp:+.3f}), "
+            f"T* order {t_fit.slope:+.3f} (theory {-y_exp:+.3f})"
+        )
+    return notes
+
+
+_NOTE = "platform {platform}, alpha={alpha:g}, D={downtime:g}s"
+
+SPEC = StudySpec(
+    name="fig5",
+    description="sweep of the error rate (alpha = 0.1) with slope fits",
+    scenarios=(1, 3, 5),
+    platforms=("Hera",),
+    axis=AxisSpec(
+        name="lambda_ind",
+        header="lambda_ind",
+        model_kwarg="lambda_ind",
+        grid=default_lambda_grid,
+    ),
+    fixed={"alpha": DEFAULT_ALPHA, "downtime": DEFAULT_DOWNTIME},
+    figure_base="fig5_{platform_l}",
+    panels=(
+        PanelSpec(
+            suffix="a_processors",
+            title="Figure 5(a) [{platform}]: optimal P* vs lambda_ind (alpha={alpha:g})",
+            columns=("P_fo", "P_num"),
+            notes=(_NOTE, _slope_notes),
+        ),
+        PanelSpec(
+            suffix="b_period",
+            title="Figure 5(b) [{platform}]: optimal T* vs lambda_ind (alpha={alpha:g})",
+            columns=("T_fo", "T_num"),
+            notes=(_NOTE,),
+        ),
+        PanelSpec(
+            suffix="c_overhead",
+            title="Figure 5(c) [{platform}]: simulated overhead vs lambda_ind",
+            columns=("H_sim_fo", "H_sim_num"),
+            notes=(_NOTE, "overhead tends to the alpha={alpha:g} floor as lambda drops"),
+        ),
+    ),
+)
+
+
 def run(
     platform: str = "Hera",
     scenarios: tuple[int, ...] = (1, 3, 5),
@@ -51,84 +100,12 @@ def run(
     pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 5 (a)-(c).  Returns three FigureResults."""
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    lams = default_lambda_grid() if lambdas is None else np.asarray(lambdas, dtype=float)
-
-    per_sc: dict[int, dict[str, list]] = {
-        sc: {"P_fo": [], "P_num": [], "T_fo": [], "T_num": [], "H_fo": [], "H_num": []}
-        for sc in scenarios
-    }
-    for lam in lams:
-        for sc in scenarios:
-            model = build_model(
-                platform, sc, alpha=alpha, downtime=downtime, lambda_ind=float(lam)
-            )
-            try:
-                fo = optimal_pattern(model)
-                P_fo, T_fo = fo.processors, fo.period
-            except ValidityError:
-                P_fo = T_fo = None
-            num = optimize_allocation(model)
-            store = per_sc[sc]
-            store["P_fo"].append(P_fo)
-            store["P_num"].append(num.processors)
-            store["T_fo"].append(T_fo)
-            store["T_num"].append(num.period)
-            store["H_fo"].append(
-                pipe.simulate_mean(model, T_fo, P_fo, settings) if P_fo is not None else None
-            )
-            store["H_num"].append(
-                pipe.simulate_mean(model, num.period, num.processors, settings)
-            )
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
-    per_sc = materialize(per_sc)
-
-    slope_notes = []
-    for sc in scenarios:
-        x_exp, y_exp = _expected_orders(sc)
-        p_fit = fit_loglog_slope(lams, np.asarray(per_sc[sc]["P_num"], dtype=float))
-        t_fit = fit_loglog_slope(lams, np.asarray(per_sc[sc]["T_num"], dtype=float))
-        slope_notes.append(
-            f"scenario {sc}: fitted P* order {p_fit.slope:+.3f} (theory {-x_exp:+.3f}), "
-            f"T* order {t_fit.slope:+.3f} (theory {-y_exp:+.3f})"
-        )
-
-    def _rows(key_fo: str, key_num: str) -> tuple[tuple, ...]:
-        rows = []
-        for i, lam in enumerate(lams):
-            row: list = [float(lam)]
-            for sc in scenarios:
-                row += [per_sc[sc][key_fo][i], per_sc[sc][key_num][i]]
-            rows.append(tuple(row))
-        return tuple(rows)
-
-    pair_cols = tuple(
-        col for sc in scenarios for col in (f"sc{sc}_first_order", f"sc{sc}_optimal")
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        grid=None if lambdas is None else np.asarray(lambdas, dtype=float),
+        fixed={"alpha": alpha, "downtime": downtime},
     )
-    base = f"fig5_{platform.lower()}"
-    note = f"platform {platform}, alpha={alpha:g}, D={downtime:g}s"
-    return [
-        FigureResult(
-            figure_id=f"{base}a_processors",
-            title=f"Figure 5(a) [{platform}]: optimal P* vs lambda_ind (alpha={alpha:g})",
-            columns=("lambda_ind",) + pair_cols,
-            rows=_rows("P_fo", "P_num"),
-            notes=(note,) + tuple(slope_notes),
-        ),
-        FigureResult(
-            figure_id=f"{base}b_period",
-            title=f"Figure 5(b) [{platform}]: optimal T* vs lambda_ind (alpha={alpha:g})",
-            columns=("lambda_ind",) + pair_cols,
-            rows=_rows("T_fo", "T_num"),
-            notes=(note,),
-        ),
-        FigureResult(
-            figure_id=f"{base}c_overhead",
-            title=f"Figure 5(c) [{platform}]: simulated overhead vs lambda_ind",
-            columns=("lambda_ind",) + pair_cols,
-            rows=_rows("H_fo", "H_num"),
-            notes=(note, f"overhead tends to the alpha={alpha:g} floor as lambda drops"),
-        ),
-    ]

@@ -19,19 +19,70 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.asymptotics import fit_loglog_slope
-from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_DOWNTIME
-from ..platforms.scenarios import build_model
 from .common import FigureResult, SimSettings
 from .fig5_error_rate import default_lambda_grid
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline
+from .spec import AxisSpec, PanelSpec, StudyContext, StudySpec, run_study
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def _expected_orders(sc: int) -> tuple[float, float, float]:
     """(x, y, z): P* ~ λ^-x, T* ~ λ^-y, H* ~ λ^z (numerical, Fig. 6)."""
     return (0.5, 0.5, 0.5) if sc in (1, 2) else (1.0, 0.0, 1.0)
+
+
+def _slope_notes(ctx: StudyContext, data: dict) -> list[str]:
+    lams = np.asarray(ctx.grid, dtype=float)
+    notes = []
+    for sc in ctx.scenarios:
+        x_exp, _, z_exp = _expected_orders(sc)
+        p_fit = fit_loglog_slope(lams, np.asarray(data[sc]["P_num"], dtype=float))
+        h_fit = fit_loglog_slope(lams, np.asarray(data[sc]["H_pred_num"], dtype=float))
+        notes.append(
+            f"scenario {sc}: fitted P* order {p_fit.slope:+.3f} (paper ~{-x_exp:+.2f}), "
+            f"H* order {h_fit.slope:+.3f} (paper ~{z_exp:+.2f})"
+        )
+    return notes
+
+
+_NOTE = "platform {platform}, alpha=0 (perfectly parallel), D={downtime:g}s"
+
+SPEC = StudySpec(
+    name="fig6",
+    description="sweep of the error rate for perfectly parallel jobs (alpha = 0)",
+    scenarios=(1, 3, 5),
+    platforms=("Hera",),
+    axis=AxisSpec(
+        name="lambda_ind",
+        header="lambda_ind",
+        model_kwarg="lambda_ind",
+        grid=default_lambda_grid,
+    ),
+    fixed={"alpha": 0.0, "downtime": DEFAULT_DOWNTIME},
+    figure_base="fig6_{platform_l}",
+    panels=(
+        PanelSpec(
+            suffix="a_processors",
+            title="Figure 6(a) [{platform}]: numerical optimal P* vs lambda_ind (alpha=0)",
+            columns=("P_num",),
+            notes=(_NOTE, _slope_notes),
+        ),
+        PanelSpec(
+            suffix="b_period",
+            title="Figure 6(b) [{platform}]: numerical optimal T* vs lambda_ind (alpha=0)",
+            columns=("T_num",),
+            notes=(_NOTE, "scenario 1: T* ~ lambda^-1/2; scenarios 3/5: T* ~ O(1)"),
+        ),
+        PanelSpec(
+            suffix="c_overhead",
+            title="Figure 6(c) [{platform}]: simulated overhead vs lambda_ind (alpha=0)",
+            columns=("H_sim_num",),
+            notes=(_NOTE, "H ~ lambda^1/2 (sc 1) and ~ lambda (sc 3/5)"),
+        ),
+    ),
+)
 
 
 def run(
@@ -43,72 +94,12 @@ def run(
     pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 6 (a)-(c).  Returns three FigureResults."""
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    lams = default_lambda_grid() if lambdas is None else np.asarray(lambdas, dtype=float)
-
-    per_sc: dict[int, dict[str, list]] = {
-        sc: {"P": [], "T": [], "H_pred": [], "H_sim": []} for sc in scenarios
-    }
-    for lam in lams:
-        for sc in scenarios:
-            model = build_model(
-                platform, sc, alpha=0.0, downtime=downtime, lambda_ind=float(lam)
-            )
-            num = optimize_allocation(model)
-            store = per_sc[sc]
-            store["P"].append(num.processors)
-            store["T"].append(num.period)
-            store["H_pred"].append(num.overhead)
-            store["H_sim"].append(
-                pipe.simulate_mean(model, num.period, num.processors, settings)
-            )
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
-    per_sc = materialize(per_sc)
-
-    slope_notes = []
-    for sc in scenarios:
-        x_exp, y_exp, z_exp = _expected_orders(sc)
-        p_fit = fit_loglog_slope(lams, np.asarray(per_sc[sc]["P"], dtype=float))
-        h_fit = fit_loglog_slope(lams, np.asarray(per_sc[sc]["H_pred"], dtype=float))
-        slope_notes.append(
-            f"scenario {sc}: fitted P* order {p_fit.slope:+.3f} (paper ~{-x_exp:+.2f}), "
-            f"H* order {h_fit.slope:+.3f} (paper ~{z_exp:+.2f})"
-        )
-
-    def _rows(key: str) -> tuple[tuple, ...]:
-        rows = []
-        for i, lam in enumerate(lams):
-            row: list = [float(lam)]
-            for sc in scenarios:
-                row.append(per_sc[sc][key][i])
-            rows.append(tuple(row))
-        return tuple(rows)
-
-    sc_cols = tuple(f"scenario_{s}" for s in scenarios)
-    base = f"fig6_{platform.lower()}"
-    note = f"platform {platform}, alpha=0 (perfectly parallel), D={downtime:g}s"
-    return [
-        FigureResult(
-            figure_id=f"{base}a_processors",
-            title=f"Figure 6(a) [{platform}]: numerical optimal P* vs lambda_ind (alpha=0)",
-            columns=("lambda_ind",) + sc_cols,
-            rows=_rows("P"),
-            notes=(note,) + tuple(slope_notes),
-        ),
-        FigureResult(
-            figure_id=f"{base}b_period",
-            title=f"Figure 6(b) [{platform}]: numerical optimal T* vs lambda_ind (alpha=0)",
-            columns=("lambda_ind",) + sc_cols,
-            rows=_rows("T"),
-            notes=(note, "scenario 1: T* ~ lambda^-1/2; scenarios 3/5: T* ~ O(1)"),
-        ),
-        FigureResult(
-            figure_id=f"{base}c_overhead",
-            title=f"Figure 6(c) [{platform}]: simulated overhead vs lambda_ind (alpha=0)",
-            columns=("lambda_ind",) + sc_cols,
-            rows=_rows("H_sim"),
-            notes=(note, "H ~ lambda^1/2 (sc 1) and ~ lambda (sc 3/5)"),
-        ),
-    ]
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        grid=None if lambdas is None else np.asarray(lambdas, dtype=float),
+        fixed={"alpha": 0.0, "downtime": downtime},
+    )

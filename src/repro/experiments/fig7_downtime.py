@@ -17,21 +17,57 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.first_order import optimal_pattern
-from ..exceptions import ValidityError
-from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_ALPHA
-from ..platforms.scenarios import build_model
 from ..units import SECONDS_PER_HOUR
 from .common import FigureResult, SimSettings
-from .pipeline import SimulationPipeline, materialize, private_pipeline
+from .pipeline import SimulationPipeline
+from .spec import AxisSpec, PanelSpec, StudySpec, run_study
 
-__all__ = ["run", "default_downtime_grid"]
+__all__ = ["run", "default_downtime_grid", "SPEC"]
 
 
 def default_downtime_grid() -> np.ndarray:
     """0 .. 3 hours in half-hour steps (seconds)."""
     return np.linspace(0.0, 3.0, 7) * SECONDS_PER_HOUR
+
+
+_NOTE = "platform {platform}, alpha={alpha:g}"
+
+SPEC = StudySpec(
+    name="fig7",
+    description="sweep of the downtime D",
+    scenarios=(1, 3, 5),
+    platforms=("Hera",),
+    axis=AxisSpec(
+        name="downtime",
+        header="D_hours",
+        model_kwarg="downtime",
+        grid=default_downtime_grid,
+        display=lambda D: float(D) / SECONDS_PER_HOUR,
+    ),
+    fixed={"alpha": DEFAULT_ALPHA},
+    figure_base="fig7_{platform_l}",
+    panels=(
+        PanelSpec(
+            suffix="a_processors",
+            title="Figure 7(a) [{platform}]: optimal P* vs downtime (hours)",
+            columns=("P_fo", "P_num"),
+            notes=(_NOTE, "first-order P* flat in D; numerical P* mildly decreasing"),
+        ),
+        PanelSpec(
+            suffix="b_period",
+            title="Figure 7(b) [{platform}]: optimal T* vs downtime (hours)",
+            columns=("T_fo", "T_num"),
+            notes=(_NOTE, "first-order T* flat in D"),
+        ),
+        PanelSpec(
+            suffix="c_overhead",
+            title="Figure 7(c) [{platform}]: simulated overhead vs downtime (hours)",
+            columns=("H_sim_fo", "H_sim_num"),
+            notes=(_NOTE, "first-order and optimal overheads remain close for all D"),
+        ),
+    ),
+)
 
 
 def run(
@@ -43,63 +79,12 @@ def run(
     pipeline: SimulationPipeline | None = None,
 ) -> list[FigureResult]:
     """Regenerate Figure 7 (a)-(c).  Returns three FigureResults."""
-    pipe = pipeline if pipeline is not None else private_pipeline(settings)
-    Ds = default_downtime_grid() if downtimes is None else np.asarray(downtimes, float)
-
-    p_rows, t_rows, h_rows = [], [], []
-    for D in Ds:
-        hours = float(D) / SECONDS_PER_HOUR
-        p_row: list = [hours]
-        t_row: list = [hours]
-        h_row: list = [hours]
-        for sc in scenarios:
-            model = build_model(platform, sc, alpha=alpha, downtime=float(D))
-            try:
-                fo = optimal_pattern(model)
-                P_fo, T_fo = fo.processors, fo.period
-            except ValidityError:
-                P_fo = T_fo = None
-            num = optimize_allocation(model)
-            H_fo_sim = (
-                pipe.simulate_mean(model, T_fo, P_fo, settings) if P_fo is not None else None
-            )
-            H_num_sim = pipe.simulate_mean(model, num.period, num.processors, settings)
-            p_row += [P_fo, num.processors]
-            t_row += [T_fo, num.period]
-            h_row += [H_fo_sim, H_num_sim]
-        p_rows.append(tuple(p_row))
-        t_rows.append(tuple(t_row))
-        h_rows.append(tuple(h_row))
-    pipe.resolve()
-    if pipeline is None:
-        pipe.close()
-    h_rows = materialize(h_rows)
-
-    pair_cols = tuple(
-        col for sc in scenarios for col in (f"sc{sc}_first_order", f"sc{sc}_optimal")
+    return run_study(
+        SPEC,
+        platform=platform,
+        settings=settings,
+        pipeline=pipeline,
+        scenarios=scenarios,
+        grid=None if downtimes is None else np.asarray(downtimes, float),
+        fixed={"alpha": alpha},
     )
-    base = f"fig7_{platform.lower()}"
-    note = f"platform {platform}, alpha={alpha:g}"
-    return [
-        FigureResult(
-            figure_id=f"{base}a_processors",
-            title=f"Figure 7(a) [{platform}]: optimal P* vs downtime (hours)",
-            columns=("D_hours",) + pair_cols,
-            rows=tuple(p_rows),
-            notes=(note, "first-order P* flat in D; numerical P* mildly decreasing"),
-        ),
-        FigureResult(
-            figure_id=f"{base}b_period",
-            title=f"Figure 7(b) [{platform}]: optimal T* vs downtime (hours)",
-            columns=("D_hours",) + pair_cols,
-            rows=tuple(t_rows),
-            notes=(note, "first-order T* flat in D"),
-        ),
-        FigureResult(
-            figure_id=f"{base}c_overhead",
-            title=f"Figure 7(c) [{platform}]: simulated overhead vs downtime (hours)",
-            columns=("D_hours",) + pair_cols,
-            rows=tuple(h_rows),
-            notes=(note, "first-order and optimal overheads remain close for all D"),
-        ),
-    ]

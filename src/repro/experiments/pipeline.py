@@ -12,8 +12,8 @@ batches them:
 * once the sweep is declared, :meth:`SimulationPipeline.resolve` fuses
   all pending points into one :class:`repro.sim.plan.SimulationPlan`,
   dispatches every chunk job over **one shared**
-  :class:`~repro.sim.plan.WorkerPool` (reused across figures by the CLI
-  runner), consults the on-disk
+  :class:`repro.sim.executors.Executor` (serial, pooled or sharded —
+  reused across figures by the CLI runner), consults the on-disk
   :class:`~repro.sim.plan.ResultCache`, and fills the placeholders in;
 * :func:`materialize` swaps the placeholders inside already-built row
   structures for their values, so figure code keeps its natural
@@ -37,16 +37,20 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import SimulationError
+from ..sim.executors import Executor, make_executor
 from ..sim.plan import (
     ResultCache,
     SimRequest,
-    WorkerPool,
     call_key,
     merge_spans,
     plan_simulations,
     run_job,
     serve_or_expand,
 )
+
+#: Claim marker for call keys an executor shard does not own; their
+#: deferred values resolve to ``None`` (like a disabled simulation).
+_FOREIGN = object()
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (common imports sim)
     from ..core.pattern import PatternModel
@@ -131,15 +135,42 @@ class SimulationPipeline:
         ``None`` to disable disk caching.  An in-memory memo always
         deduplicates repeated points within one pipeline lifetime
         (e.g. across the figures of ``repro-experiments all``).
+    executor:
+        An explicit :class:`repro.sim.executors.Executor` overriding
+        the one implied by ``jobs`` — this is how a CLI shard run
+        injects a :class:`~repro.sim.executors.ShardedExecutor`.
+        Points whose plan key the executor disowns are skipped (their
+        deferred values resolve to ``None``); serial and pooled
+        executors own everything.
     """
 
-    def __init__(self, jobs: int | None = 1, cache_dir=None):
-        self.pool = WorkerPool(jobs)
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache_dir=None,
+        executor: Executor | None = None,
+    ):
+        self.executor = executor if executor is not None else make_executor(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self._memo: dict[str, object] = {}
         self._pending: list[tuple[str, object, Deferred]] = []
         self.points_submitted = 0
         self.points_computed = 0
+        self.points_skipped = 0
+
+    @property
+    def pool(self):
+        """The executor's pool (or the executor itself when serial).
+
+        Kept for callers sized off ``pipeline.pool.workers``; dispatch
+        goes through :attr:`executor`.
+        """
+        return getattr(self.executor, "pool", self.executor)
+
+    @property
+    def pending_points(self) -> int:
+        """Declared-but-unresolved points (see :meth:`resolve`'s ``count``)."""
+        return len(self._pending)
 
     # -- declaring work ----------------------------------------------------
 
@@ -185,15 +216,25 @@ class SimulationPipeline:
 
     # -- running it --------------------------------------------------------
 
-    def resolve(self) -> None:
-        """Fuse every pending point into one plan and dispatch it.
+    def resolve(self, count: int | None = None) -> None:
+        """Fuse pending points into one plan and dispatch it.
 
         Incremental: only points declared since the last resolve run;
-        the pool and caches persist across rounds.
+        the executor and caches persist across rounds.  ``count``
+        resolves just the first ``count`` pending points (in
+        declaration order) — the streaming runner uses this to emit a
+        figure's tables while later figures are still queued.
+
+        With a sharded executor, points whose plan key the shard does
+        not own are skipped: their deferred values resolve to ``None``
+        and :attr:`points_skipped` counts them.
         """
         if not self._pending:
             return
-        pending, self._pending = self._pending, []
+        if count is None:
+            pending, self._pending = self._pending, []
+        else:
+            pending, self._pending = self._pending[:count], self._pending[count:]
 
         requests = [item for kind, item, _ in pending if kind == "request"]
         plan = plan_simulations(requests)
@@ -201,7 +242,9 @@ class SimulationPipeline:
         # Serve memo/disk hits, expand the rest into one fused job list
         # (shared with repro.sim.plan.execute_plan), then append the
         # generic call jobs so everything rides one pool dispatch.
-        estimates, jobs, spans = serve_or_expand(plan, self.cache, self._memo)
+        estimates, jobs, spans = serve_or_expand(
+            plan, self.cache, self._memo, owned=self.executor.owns
+        )
 
         call_values: dict[str, object] = {}
         call_spans: list[tuple[str, int]] = []  # (key, job index)
@@ -222,11 +265,14 @@ class SimulationPipeline:
                 if hit is not None:
                     call_values[key] = self._memo[key] = hit
                     continue
+            if not self.executor.owns(key):
+                call_values[key] = _FOREIGN
+                continue
             call_values[key] = None  # claimed: computed below
             call_spans.append((key, len(jobs)))
             jobs.append((fn, args, kwargs))
 
-        results = self.pool.map(run_job, jobs)
+        results = self.executor.map(run_job, jobs)
         self.points_computed += len(jobs)
 
         merge_spans(plan, estimates, spans, results, self.cache, self._memo)
@@ -236,15 +282,25 @@ class SimulationPipeline:
             if self.cache is not None:
                 self.cache.put_value(key, float(value))
 
-        # Fan values back out to the deferred placeholders.
+        # Fan values back out to the deferred placeholders.  Estimates
+        # can stay None only for foreign-shard points;
+        # ``points_skipped`` counts skipped *declarations* (the same
+        # unit as ``points_submitted``), so a shard's computed + served
+        # + skipped bookkeeping always balances.
         request_iter = iter(plan.slots)
         call_iter = iter(call_slots)
         for kind, _, deferred in pending:
             if kind == "request":
-                deferred._set(estimates[next(request_iter)].mean)
+                estimate = estimates[next(request_iter)]
+                if estimate is None:
+                    self.points_skipped += 1
+                deferred._set(None if estimate is None else estimate.mean)
             else:
                 _, key = next(call_iter)
-                deferred._set(call_values[key])
+                value = call_values[key]
+                if value is _FOREIGN:
+                    self.points_skipped += 1
+                deferred._set(None if value is _FOREIGN else value)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -256,7 +312,7 @@ class SimulationPipeline:
         return (self.cache.hits, self.cache.misses)
 
     def close(self) -> None:
-        self.pool.close()
+        self.executor.close()
 
     def __enter__(self) -> "SimulationPipeline":
         return self

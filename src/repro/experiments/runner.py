@@ -8,8 +8,19 @@ Usage examples::
     repro-experiments fig5 --paper           # full-fidelity Monte Carlo
     repro-experiments all --no-sim           # every analytic series, fast
     repro-experiments fig6 --csv out/        # dump series as CSV too
+    repro-experiments sweep --spec my.toml   # user-defined TOML study
+    repro-experiments cache stats --cache-dir cache/
+    repro-experiments merge s0 s1 --cache-dir cache/
 
 (Equivalently: ``python -m repro <command> ...``.)
+
+Every figure subcommand is derived from the study registry
+(:mod:`repro.experiments.registry`): its name, help text and platform
+grid live on the :class:`~repro.experiments.spec.StudySpec`, so the
+CLI cannot drift from the registered studies.  Sharding flags
+(``--shard-index/--shard-count/--shard-dir``) run any simulation
+command as one deterministic slice of the planned points; ``merge``
+fuses shard outputs into a result cache.
 """
 
 from __future__ import annotations
@@ -19,59 +30,35 @@ import re
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Sequence
 
+from ..exceptions import InvalidParameterError
+from ..io.stream import StreamingEmitter
 from ..io.tables import render_table
 from ..platforms.catalog import PLATFORM_NAMES, PLATFORMS
 from ..platforms.scenarios import SCENARIOS
+from ..sim.executors import make_executor, merge_shard_dirs
 from ..sim.montecarlo import FAST, METHODS, PAPER, Fidelity
+from ..sim.plan import ResultCache
 from ..sim.rng import DEFAULT_SEED
-from . import (
-    ext_nodes,
-    ext_segments,
-    ext_weakscaling,
-    ext_weibull,
-    fig2_scenarios,
-    fig3_processors,
-    fig4_alpha,
-    fig5_error_rate,
-    fig6_alpha_zero,
-    fig7_downtime,
-)
 from .common import FigureResult, SimSettings
 from .pipeline import SimulationPipeline
+from .registry import REGISTRY, RUNNERS, find_spec, get_spec
+from .spec import StudySpec, stage_study
 
 __all__ = ["main", "print_input_tables", "print_command_index", "check_experiments_md"]
 
-_FIGURES: dict[str, Callable[..., list[FigureResult]]] = {
-    "fig2": fig2_scenarios.run,
-    "fig3": fig3_processors.run,
-    "fig4": fig4_alpha.run,
-    "fig5": fig5_error_rate.run,
-    "fig6": fig6_alpha_zero.run,
-    "fig7": fig7_downtime.run,
-    "ext-segments": ext_segments.run,
-    "ext-weibull": ext_weibull.run,
-    "ext-weakscaling": ext_weakscaling.run,
-    "ext-nodes": ext_nodes.run,
-}
+#: Study name -> historical ``run()`` callable (derived from the
+#: registry; kept under the old name for API compatibility).
+_FIGURES = RUNNERS
 
 #: Real subcommands that are not figure pipelines; references to them
 #: in EXPERIMENTS.md are legitimate and exempt from the drift check.
-_META_COMMANDS = {"all", "tables", "report", "index"}
+_META_COMMANDS = {"all", "tables", "report", "index", "sweep", "merge", "cache"}
 
-_DESCRIPTIONS = {
-    "fig2": "optimal patterns per scenario and platform",
-    "fig3": "sweep of the processor count (period, overhead, first-order gap)",
-    "fig4": "sweep of the sequential fraction alpha",
-    "fig5": "sweep of the error rate (alpha = 0.1) with slope fits",
-    "fig6": "sweep of the error rate for perfectly parallel jobs (alpha = 0)",
-    "fig7": "sweep of the downtime D",
-    "ext-segments": "extension: interleaved verifications (segments per checkpoint)",
-    "ext-weibull": "extension: robustness under Weibull fail-stop arrivals",
-    "ext-weakscaling": "extension: weak vs strong scaling under failures",
-    "ext-nodes": "extension: per-node failure laws vs the aggregated platform",
-}
+#: Meta commands EXPERIMENTS.md is required to document (the figure
+#: commands are always required; ``index`` documents itself).
+_DOCUMENTED_META = ("all", "tables", "sweep", "merge", "cache")
 
 
 def print_input_tables(stream=None) -> None:
@@ -127,55 +114,111 @@ def _settings_from_args(args: argparse.Namespace) -> SimSettings:
     )
 
 
+def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
+    """Validated ``(shard_index, shard_count)``, or None when unsharded."""
+    count = getattr(args, "shard_count", None)
+    if count is None:
+        if getattr(args, "shard_index", None) is not None:
+            raise SystemExit("--shard-index requires --shard-count")
+        return None
+    index = args.shard_index if args.shard_index is not None else 0
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(f"shard {index}/{count} is out of range")
+    if getattr(args, "shard_dir", None) is None:
+        raise SystemExit("--shard-count requires --shard-dir (the shard's npz output)")
+    return index, count
+
+
 def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
-    """One shared pipeline (pool + caches) for a whole CLI invocation.
+    """One shared pipeline (executor + caches) for a whole CLI invocation.
 
     ``--jobs`` defaults to ``--workers`` so a worker request keeps its
     pre-pipeline wall-clock meaning (parallel simulation), now served
-    by one pool shared across every figure instead of one pool per
+    by one executor shared across every figure instead of one pool per
     simulated point; with neither flag the pipeline runs serially.
+    Shard flags wrap the executor in a
+    :class:`~repro.sim.executors.ShardedExecutor` and point the result
+    cache at the shard output directory.
     """
     jobs = args.jobs if args.jobs is not None else args.workers
-    cache_dir = None if args.no_cache else args.cache_dir
-    return SimulationPipeline(jobs=1 if jobs is None else jobs, cache_dir=cache_dir)
-
-
-def _run_figure(
-    name: str,
-    args: argparse.Namespace,
-    pipeline: SimulationPipeline | None = None,
-) -> list[FigureResult]:
-    settings = _settings_from_args(args)
-    runner = _FIGURES[name]
-    results: list[FigureResult] = []
-    if name == "fig2" and args.all_platforms:
-        for platform in PLATFORM_NAMES:
-            results.extend(
-                runner(platform=platform, settings=settings, pipeline=pipeline)
+    jobs = 1 if jobs is None else jobs
+    shard = _shard_args(args)
+    if shard is not None:
+        if args.cache_dir is not None or args.no_cache:
+            # A shard writes its npz output through the cache layer, so
+            # the cache flags would be silently overridden — refuse.
+            raise SystemExit(
+                "--cache-dir/--no-cache cannot be combined with shard flags; "
+                "the shard writes to --shard-dir (merge the shards, then run "
+                "with --cache-dir on the merged directory)"
             )
-    else:
-        results.extend(
-            runner(platform=args.platform, settings=settings, pipeline=pipeline)
-        )
-    return results
+        index, count = shard
+        executor = make_executor(jobs, index, count)
+        return SimulationPipeline(executor=executor, cache_dir=args.shard_dir)
+    cache_dir = None if args.no_cache else args.cache_dir
+    return SimulationPipeline(jobs=jobs, cache_dir=cache_dir)
 
 
-def _emit(results: Sequence[FigureResult], args: argparse.Namespace) -> None:
-    for result in results:
-        print(result.table())
-        print()
-        if args.csv:
-            path = result.to_csv(args.csv)
-            print(f"  [csv] {path}")
-            print()
+def _platforms_for(spec: StudySpec, args: argparse.Namespace) -> tuple[str, ...]:
+    """The platform grid one CLI invocation runs a spec over."""
+    if spec.supports_all_platforms and getattr(args, "all_platforms", False):
+        return tuple(PLATFORM_NAMES)
+    platform = getattr(args, "platform", None)
+    if platform is None:
+        return spec.platforms  # sweep: the spec's own platform grid
+    return (platform,)
 
 
-def _add_common_options(sub: argparse.ArgumentParser) -> None:
+def _stage_specs(
+    specs: Sequence[StudySpec],
+    args: argparse.Namespace,
+    pipeline: SimulationPipeline,
+) -> list:
+    """Declare every (spec, platform) study onto the shared pipeline."""
+    settings = _settings_from_args(args)
+    staged = []
+    for spec in specs:
+        for platform in _platforms_for(spec, args):
+            staged.append(
+                stage_study(spec, platform=platform, settings=settings, pipeline=pipeline)
+            )
+    return staged
+
+
+def _resolve_and_emit(
+    staged: Sequence,
+    pipeline: SimulationPipeline,
+    emitter: StreamingEmitter | None,
+    collect: list | None = None,
+) -> None:
+    """Resolve the pipeline wave by wave, streaming each study out.
+
+    Each wave covers exactly the points one study declared, so earlier
+    studies print while later ones are still unsimulated.  In shard
+    mode (``emitter`` is None, ``collect`` is None) the studies are
+    resolved for their side effect only: shard npz output.
+    """
+    for stage in staged:
+        pipeline.resolve(count=stage.n_pending)
+        if emitter is not None:
+            emitter.add(stage)
+            emitter.pump()
+        elif collect is not None:
+            collect.append((stage.ctx.spec.name, stage.finish()))
+    if emitter is not None:
+        emitter.drain(resolve=pipeline.resolve)
+
+
+def _add_common_options(
+    sub: argparse.ArgumentParser, platform_default: str | None = "Hera"
+) -> None:
     sub.add_argument(
         "--platform",
-        default="Hera",
+        default=platform_default,
         choices=list(PLATFORM_NAMES),
-        help="platform from Table II (default Hera)",
+        help="platform from Table II (default Hera)"
+        if platform_default
+        else "platform from Table II (default: the spec's own platform grid)",
     )
     sub.add_argument("--no-sim", action="store_true", help="skip Monte-Carlo columns")
     sub.add_argument(
@@ -220,6 +263,27 @@ def _add_common_options(sub: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the result cache even when --cache-dir is set",
     )
+    sub.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="run only the I-th deterministic slice of the planned points",
+    )
+    sub.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total shards the planned points are partitioned into "
+        "(by plan key; requires --shard-dir)",
+    )
+    sub.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="DIR",
+        help="npz output directory of this shard (fused later by `merge`)",
+    )
     sub.add_argument("--csv", default=None, metavar="DIR", help="also dump CSV files")
 
 
@@ -233,10 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("tables", help="print Tables II and III (inputs)")
 
-    for name, desc in _DESCRIPTIONS.items():
-        sub = subparsers.add_parser(name, help=desc)
+    for name, spec in REGISTRY.items():
+        sub = subparsers.add_parser(name, help=spec.description)
         _add_common_options(sub)
-        if name == "fig2":
+        if spec.supports_all_platforms:
             sub.add_argument(
                 "--all-platforms",
                 action="store_true",
@@ -255,6 +319,63 @@ def build_parser() -> argparse.ArgumentParser:
     sub_report.add_argument(
         "--out", default="report.md", metavar="FILE", help="output markdown path"
     )
+
+    sub_sweep = subparsers.add_parser(
+        "sweep",
+        help="run one study: a registered name or a TOML spec file "
+        "(supports sharding)",
+    )
+    sub_sweep.add_argument(
+        "study",
+        nargs="?",
+        default=None,
+        help="registered study name (see `index`)",
+    )
+    sub_sweep.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="TOML study spec (see examples/custom_study.toml)",
+    )
+    _add_common_options(sub_sweep, platform_default=None)
+
+    sub_merge = subparsers.add_parser(
+        "merge", help="fuse shard npz output directories into a result cache"
+    )
+    sub_merge.add_argument("shards", nargs="+", metavar="SHARD_DIR")
+    sub_merge.add_argument(
+        "--cache-dir", required=True, metavar="DIR", help="merge target cache"
+    )
+
+    sub_cache = subparsers.add_parser(
+        "cache", help="inspect or prune a result cache (stats / ls / prune)"
+    )
+    cache_sub = sub_cache.add_subparsers(dest="cache_command", required=True)
+    for cache_cmd, cache_help in (
+        ("stats", "aggregate entry count and size"),
+        ("ls", "list entries with size and age"),
+        ("prune", "age/size-based garbage collection"),
+    ):
+        c = cache_sub.add_parser(cache_cmd, help=cache_help)
+        c.add_argument("--cache-dir", required=True, metavar="DIR")
+        if cache_cmd == "prune":
+            c.add_argument(
+                "--max-age-days",
+                type=float,
+                default=None,
+                help="drop entries older than this many days",
+            )
+            c.add_argument(
+                "--max-size-mb",
+                type=float,
+                default=None,
+                help="evict oldest entries until the cache fits this size",
+            )
+            c.add_argument(
+                "--dry-run",
+                action="store_true",
+                help="report what would be removed without deleting",
+            )
 
     sub_index = subparsers.add_parser(
         "index", help="list every experiment command; --check verifies EXPERIMENTS.md"
@@ -275,22 +396,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def print_command_index(stream=None) -> None:
-    """Print every experiment subcommand with its CLI invocation."""
+    """Print every experiment subcommand with its registry description."""
     stream = stream or sys.stdout
     print("Experiment commands (equivalently `repro-experiments <command>`):", file=stream)
-    for name in _FIGURES:
-        print(f"  python -m repro {name:<16} # {_DESCRIPTIONS[name]}", file=stream)
+    for name, spec in REGISTRY.items():
+        print(f"  python -m repro {name:<16} # {spec.description}", file=stream)
 
 
 def check_experiments_md(path: str | Path, stream=None) -> int:
-    """Verify the experiment index document against :data:`_FIGURES`.
+    """Verify the experiment index document against the study registry.
 
-    Returns 0 when every runner command is referenced as
-    ``python -m repro <command>`` and every referenced command exists
-    (the non-figure subcommands in :data:`_META_COMMANDS` are exempt),
-    1 otherwise.
-    This is the same contract the conformance test suite enforces, so
-    the document cannot silently drift from the runner.
+    Returns 0 when every registered study *and* every documented meta
+    command (:data:`_DOCUMENTED_META`) is referenced as
+    ``python -m repro <command>`` and every referenced command exists,
+    1 otherwise.  Because the CLI help itself derives from the registry
+    (:data:`REGISTRY`), passing this check means document, CLI and
+    registry all agree.
     """
     stream = stream or sys.stdout
     path = Path(path)
@@ -298,17 +419,36 @@ def check_experiments_md(path: str | Path, stream=None) -> int:
         print(f"[index] {path} does not exist", file=stream)
         return 1
     referenced = set(re.findall(r"python -m repro ([\w-]+)", path.read_text()))
-    referenced -= _META_COMMANDS
-    missing = sorted(set(_FIGURES) - referenced)
-    unknown = sorted(referenced - set(_FIGURES))
+    required = set(REGISTRY) | set(_DOCUMENTED_META)
+    missing = sorted(required - referenced)
+    unknown = sorted(referenced - set(REGISTRY) - _META_COMMANDS)
     for name in missing:
         print(f"[index] {path} does not reference `python -m repro {name}`", file=stream)
     for name in unknown:
         print(f"[index] {path} references unknown command {name!r}", file=stream)
     if missing or unknown:
         return 1
-    print(f"[index] {path} covers all {len(_FIGURES)} commands", file=stream)
+    print(f"[index] {path} covers all {len(required)} commands", file=stream)
     return 0
+
+
+def _run_figure(
+    name: str,
+    args: argparse.Namespace,
+    pipeline: SimulationPipeline | None = None,
+) -> list[FigureResult]:
+    """Stage, resolve and assemble one registered study (library helper)."""
+    spec = get_spec(name)
+    own_pipeline = pipeline is None
+    pipe = pipeline if pipeline is not None else _pipeline_from_args(args)
+    try:
+        staged = _stage_specs([spec], args, pipe)
+        results: list[tuple[str, list[FigureResult]]] = []
+        _resolve_and_emit(staged, pipe, emitter=None, collect=results)
+        return [r for _, batch in results for r in batch]
+    finally:
+        if own_pipeline:
+            pipe.close()
 
 
 def _write_report(args: argparse.Namespace, pipeline: SimulationPipeline) -> None:
@@ -317,7 +457,18 @@ def _write_report(args: argparse.Namespace, pipeline: SimulationPipeline) -> Non
     from ..io.report import write_report
 
     settings = _settings_from_args(args)
-    sections = [(name, _run_figure(name, args, pipeline)) for name in _FIGURES]
+    collected: list[tuple[str, list[FigureResult]]] = []
+    staged = _stage_specs([get_spec(n) for n in REGISTRY], args, pipeline)
+    _resolve_and_emit(staged, pipeline, emitter=None, collect=collected)
+    # Re-group per study (fig2 --all-platforms stages one study per
+    # platform but the report keeps one section per figure).
+    sections: list[tuple[str, list[FigureResult]]] = []
+    by_name: dict[str, list[FigureResult]] = {}
+    for name, results in collected:
+        if name not in by_name:
+            by_name[name] = []
+            sections.append((name, by_name[name]))
+        by_name[name].extend(results)
     buffer = _io.StringIO()
     print_input_tables(stream=buffer)
     sim = (
@@ -330,6 +481,61 @@ def _write_report(args: argparse.Namespace, pipeline: SimulationPipeline) -> Non
     print(f"[report] {path}")
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    copied, skipped = merge_shard_dirs(args.shards, args.cache_dir)
+    print(
+        f"[merge] {copied} entries copied, {skipped} duplicates skipped "
+        f"-> {args.cache_dir}"
+    )
+    return 0
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        mib = stats["total_bytes"] / (1024 * 1024)
+        print(
+            f"[cache] {stats['entries']} entries, {mib:.2f} MiB "
+            f"({stats['directory']})"
+        )
+        if stats["entries"]:
+            now = time.time()
+            print(
+                f"[cache] oldest {_format_age(now - stats['oldest_mtime'])}, "
+                f"newest {_format_age(now - stats['newest_mtime'])}"
+            )
+        return 0
+    if args.cache_command == "ls":
+        now = time.time()
+        rows = [
+            (e.key[:16], e.size, _format_age(now - e.mtime)) for e in cache.entries()
+        ]
+        print(render_table(("key (prefix)", "bytes", "age"), rows))
+        return 0
+    # prune
+    if args.max_age_days is None and args.max_size_mb is None:
+        print("[prune] nothing to do: pass --max-age-days and/or --max-size-mb")
+        return 1
+    removed, kept = cache.prune(
+        max_age_days=args.max_age_days,
+        max_size_mb=args.max_size_mb,
+        dry_run=args.dry_run,
+    )
+    mib = sum(e.size for e in removed) / (1024 * 1024)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"[prune] {verb} {len(removed)} entries ({mib:.2f} MiB), kept {len(kept)}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "tables":
@@ -340,15 +546,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.check:
             return check_experiments_md(args.file)
         return 0
+    if args.command == "merge":
+        return _cmd_merge(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+
+    if args.command == "sweep":
+        if (args.study is None) == (args.spec is None):
+            raise SystemExit("sweep needs exactly one of: a study name, or --spec FILE")
+        try:
+            specs = [find_spec(args.spec if args.spec is not None else args.study)]
+        except InvalidParameterError as exc:
+            raise SystemExit(str(exc)) from None
+    elif args.command in ("all", "report"):
+        specs = [get_spec(n) for n in REGISTRY]
+    else:
+        specs = [get_spec(args.command)]
+
     started = time.perf_counter()
+    sharded = _shard_args(args) is not None
+    if sharded and args.command == "report":
+        # A shard resolves only its slice of the points; a report built
+        # from it would silently render the foreign points as '-'.
+        raise SystemExit(
+            "report cannot run sharded: merge the shard caches first, then "
+            "run `report --cache-dir <merged>`"
+        )
     with _pipeline_from_args(args) as pipeline:
-        if args.command == "all":
-            for name in _FIGURES:
-                _emit(_run_figure(name, args, pipeline), args)
-        elif args.command == "report":
+        if args.command == "report":
             _write_report(args, pipeline)
         else:
-            _emit(_run_figure(args.command, args, pipeline), args)
+            staged = _stage_specs(specs, args, pipeline)
+            emitter = None if sharded else StreamingEmitter(csv_dir=args.csv)
+            _resolve_and_emit(staged, pipeline, emitter=emitter)
+        if sharded:
+            index, count = _shard_args(args)
+            print(
+                f"[shard {index}/{count}] {pipeline.points_computed} jobs "
+                f"computed, {pipeline.points_skipped} points skipped "
+                f"-> {args.shard_dir}"
+            )
         if pipeline.cache is not None:
             hits, misses = pipeline.cache_stats
             print(f"[cache] {hits} hits, {misses} misses ({pipeline.cache.directory})")

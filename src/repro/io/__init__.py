@@ -1,6 +1,7 @@
-"""Reporting: ASCII tables and CSV export."""
+"""Reporting: ASCII tables, CSV export and streaming emission."""
 
 from .csvout import write_csv
+from .stream import StreamingEmitter
 from .tables import format_cell, render_table
 
-__all__ = ["render_table", "format_cell", "write_csv"]
+__all__ = ["render_table", "format_cell", "write_csv", "StreamingEmitter"]

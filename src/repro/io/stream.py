@@ -1,0 +1,78 @@
+"""Streaming figure emission.
+
+The CLI runner stages every study of an invocation up front, then
+resolves the shared simulation pipeline in *waves* — one per staged
+study, in declaration order.  This emitter is the output half of that
+loop: each study's tables (and optional CSV dumps) are printed the
+moment its wave resolves, so ``repro-experiments all --jobs N`` shows
+Figure 2 while Figure 5's Monte-Carlo points are still queued, instead
+of buffering the whole evaluation.
+
+The emitted bytes are identical to the historical
+materialize-everything-then-print path: streaming changes *when* a
+table appears, never what it contains.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+__all__ = ["StreamingEmitter"]
+
+
+class StreamingEmitter:
+    """Print figure tables (and CSVs) as their studies resolve.
+
+    Studies register in presentation order via :meth:`add`; each entry
+    carries a ``ready()`` probe and a ``finish()`` producer (the
+    :class:`~repro.experiments.spec.StagedStudy` contract).
+    :meth:`pump` flushes the queue head-first so output order always
+    matches registration order, whatever order the values resolved in.
+    """
+
+    def __init__(self, stream=None, csv_dir: str | Path | None = None):
+        self.stream = stream if stream is not None else sys.stdout
+        self.csv_dir = csv_dir
+        self._queue: list = []
+        self.emitted = 0
+
+    def add(self, staged) -> None:
+        """Queue one staged study for emission."""
+        self._queue.append(staged)
+
+    def emit_results(self, results: Sequence) -> None:
+        """Print a batch of :class:`FigureResult` tables immediately."""
+        for result in results:
+            print(result.table(), file=self.stream)
+            print(file=self.stream)
+            if self.csv_dir:
+                path = result.to_csv(self.csv_dir)
+                print(f"  [csv] {path}", file=self.stream)
+                print(file=self.stream)
+            self.emitted += 1
+
+    def pump(self) -> int:
+        """Emit every leading queued study whose values have resolved.
+
+        Returns the number of studies flushed.  Head-of-line blocking
+        is deliberate: it pins the output order.
+        """
+        flushed = 0
+        while self._queue and self._queue[0].ready():
+            staged = self._queue.pop(0)
+            self.emit_results(staged.finish())
+            flushed += 1
+        return flushed
+
+    def drain(self, resolve: Callable[[], None] | None = None) -> int:
+        """Flush the whole queue, optionally resolving first."""
+        if resolve is not None and self._queue:
+            resolve()
+        flushed = 0
+        while self._queue:
+            staged = self._queue.pop(0)
+            self.emit_results(staged.finish())
+            flushed += 1
+        return flushed

@@ -35,6 +35,14 @@ from .montecarlo import (
     resolve_method,
     simulate_overhead,
 )
+from .executors import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    make_executor,
+    merge_shard_dirs,
+)
 from .nodes import NodePool, simulate_run_nodes
 from .protocol import RunStats, TimeBreakdown, simulate_run
 from .plan import (
@@ -87,6 +95,12 @@ __all__ = [
     "SimulationPlan",
     "WorkerPool",
     "ResultCache",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "ShardedExecutor",
+    "make_executor",
+    "merge_shard_dirs",
     "plan_simulations",
     "execute_plan",
     "simulate_requests",

@@ -1,0 +1,47 @@
+"""The executor protocol shared by serial, pooled and sharded dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+__all__ = ["Executor", "shard_of"]
+
+
+def shard_of(key: str, shard_count: int) -> int:
+    """Deterministic shard owning a plan key (hex SHA-256 digest).
+
+    A pure function of the key and the shard count, so every machine of
+    a multi-host sweep computes the same partition without coordination.
+    """
+    return int(key[:8], 16) % shard_count
+
+
+class Executor:
+    """Where the planned chunk jobs of a simulation batch run.
+
+    The contract mirrors :meth:`repro.sim.plan.WorkerPool.map`: an
+    order-preserving map over pure job functions.  :meth:`owns` is the
+    sharding hook — the pipeline skips expanding any point whose plan
+    key the executor disowns (serial and pooled executors own every
+    key).
+    """
+
+    #: Worker-process count the executor dispatches over (1 = serial).
+    workers: int = 1
+
+    def owns(self, key: str) -> bool:
+        """Whether this executor computes the point with plan key ``key``."""
+        return True
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Order-preserving map of ``fn`` over ``items``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,37 @@
+"""Process-pool executor wrapping the shared :class:`WorkerPool`."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..plan import WorkerPool
+from .base import Executor
+
+__all__ = ["PoolExecutor"]
+
+
+class PoolExecutor(Executor):
+    """Dispatch jobs over one shared process pool.
+
+    Accepts either a worker count (``None`` auto-sizes, like
+    :class:`~repro.sim.plan.WorkerPool`) or an existing pool to share.
+    The pool is created lazily on the first parallel map and reused
+    until :meth:`close`; pool-infrastructure failures fall back to the
+    serial path without changing any result.
+    """
+
+    def __init__(self, workers: int | WorkerPool | None = None):
+        self.pool = workers if isinstance(workers, WorkerPool) else WorkerPool(workers)
+
+    @property
+    def workers(self) -> int:  # type: ignore[override]
+        return self.pool.workers
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return self.pool.map(fn, items)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PoolExecutor(workers={self.pool.workers})"

@@ -69,6 +69,7 @@ __all__ = [
     "SimulationPlan",
     "WorkerPool",
     "ResultCache",
+    "CacheEntry",
     "canonical_signature",
     "request_key",
     "plan_simulations",
@@ -513,6 +514,91 @@ class ResultCache:
     def put_value(self, key: str, value: float) -> None:
         self._store(key, kind="value", value=float(value))
 
+    # -- introspection and garbage collection ------------------------------
+
+    def entries(self) -> list["CacheEntry"]:
+        """Every cache entry with its size and age, oldest first."""
+        out = []
+        for path in self.directory.glob("*.npz"):
+            if path.name.startswith("."):
+                continue  # in-flight atomic-write temp (or crash leftover)
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with a concurrent prune
+                continue
+            out.append(CacheEntry(key=path.stem, path=path, size=stat.st_size,
+                                  mtime=stat.st_mtime))
+        out.sort(key=lambda e: (e.mtime, e.key))
+        return out
+
+    def stats(self) -> dict:
+        """Aggregate cache statistics (entry count, bytes, age span)."""
+        entries = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(e.size for e in entries),
+            "oldest_mtime": entries[0].mtime if entries else None,
+            "newest_mtime": entries[-1].mtime if entries else None,
+        }
+
+    def prune(
+        self,
+        max_age_days: float | None = None,
+        max_size_mb: float | None = None,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> tuple[list["CacheEntry"], list["CacheEntry"]]:
+        """Age- and size-based GC.  Returns ``(removed, kept)``.
+
+        Entries older than ``max_age_days`` go first; if the survivors
+        still exceed ``max_size_mb``, the oldest are evicted until the
+        cache fits (LRU by file mtime — hits do not touch mtime, so
+        this is creation-time eviction, which is the right order for a
+        content-addressed store: older entries are the most likely to
+        belong to superseded sweeps).
+        """
+        import time as _time
+
+        entries = self.entries()
+        now = _time.time() if now is None else now
+        removed: list[CacheEntry] = []
+        kept: list[CacheEntry] = []
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            for entry in entries:
+                (removed if entry.mtime < cutoff else kept).append(entry)
+        else:
+            kept = list(entries)
+        if max_size_mb is not None:
+            budget = max_size_mb * 1024 * 1024
+            total = sum(e.size for e in kept)
+            survivors = []
+            for entry in kept:  # oldest first: evict from the front
+                if total > budget:
+                    removed.append(entry)
+                    total -= entry.size
+                else:
+                    survivors.append(entry)
+            kept = survivors
+        if not dry_run:
+            for entry in removed:
+                try:
+                    entry.path.unlink()
+                except OSError:  # pragma: no cover - raced with another prune
+                    pass
+        return removed, kept
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One content-addressed cache file (key = file stem)."""
+
+    key: str
+    path: Path
+    size: int
+    mtime: float
+
 
 # -- execution ---------------------------------------------------------------
 
@@ -521,6 +607,7 @@ def serve_or_expand(
     plan: SimulationPlan,
     cache: ResultCache | None = None,
     memo: dict | None = None,
+    owned: Callable[[str], bool] | None = None,
 ) -> tuple[list, list[tuple], list[tuple[int, int, int]]]:
     """Serve cached points; expand the rest into one fused job list.
 
@@ -529,6 +616,12 @@ def serve_or_expand(
     :meth:`SimulationPlan.dispatch_order` (slowest backend first), and
     ``(request_index, start, stop)`` spans into the job list.  Callers
     may append further jobs before dispatch — the spans stay valid.
+
+    ``owned`` is the sharding hook (see
+    :class:`repro.sim.executors.ShardedExecutor`): a point whose key it
+    rejects is neither expanded nor computed and its estimate stays
+    ``None`` — cache and memo hits are still served, so a merged cache
+    resolves every shard's points.
     """
     estimates: list[OverheadEstimate | None] = [None] * plan.n_unique
     jobs: list[tuple] = []
@@ -545,6 +638,8 @@ def serve_or_expand(
                 if memo is not None:
                     memo[key] = hit
                 continue
+        if owned is not None and not owned(key):
+            continue
         expanded = request_jobs(plan.requests[i], plan.methods[i])
         spans.append((i, len(jobs), len(jobs) + len(expanded)))
         jobs.extend(expanded)

@@ -1,0 +1,181 @@
+"""Result-cache invalidation and garbage collection.
+
+Two contracts: a :data:`BACKEND_VERSION` bump must miss every existing
+cache entry (stale kernels can never serve), while identical requests
+must hit across executor types (the key is executor-independent); and
+``prune`` reclaims disk by age and size without ever breaking reads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SimSettings
+from repro.experiments.pipeline import SimulationPipeline
+from repro.platforms.scenarios import build_model
+from repro.sim import plan as plan_mod
+from repro.sim.executors import PoolExecutor, SerialExecutor, ShardedExecutor
+from repro.sim.plan import ResultCache, SimRequest, request_key
+
+
+def one_request() -> SimRequest:
+    model = build_model("Hera", 1)
+    return SimRequest(model=model, T=3600.0, P=1000.0, n_runs=3, n_patterns=4)
+
+
+def simulate_with(pipeline: SimulationPipeline) -> float:
+    from repro.sim.montecarlo import Fidelity
+
+    settings = SimSettings(fidelity=Fidelity(n_runs=3, n_patterns=4), seed=11)
+    model = build_model("Hera", 1)
+    deferred = pipeline.simulate_mean(model, 3600.0, 1000.0, settings)
+    pipeline.resolve()
+    return deferred.value
+
+
+class TestBackendVersionInvalidation:
+    def test_version_bump_changes_every_key(self):
+        request = one_request()
+        old = request_key(request)
+        try:
+            plan_mod.BACKEND_VERSION += 1
+            assert request_key(request) != old
+        finally:
+            plan_mod.BACKEND_VERSION -= 1
+
+    def test_version_bump_misses_cache(self, tmp_path, monkeypatch):
+        with SimulationPipeline(jobs=1, cache_dir=tmp_path) as pipe:
+            value = simulate_with(pipe)
+            assert pipe.cache.misses > 0
+        monkeypatch.setattr(plan_mod, "BACKEND_VERSION", plan_mod.BACKEND_VERSION + 1)
+        with SimulationPipeline(jobs=1, cache_dir=tmp_path) as pipe:
+            bumped = simulate_with(pipe)
+            hits, misses = pipe.cache_stats
+        assert hits == 0 and misses > 0  # stale entries never served
+        assert bumped == value  # same kernel in this test: same numbers
+
+    def test_identical_spec_hits_across_executor_types(self, tmp_path):
+        # Written serially ...
+        with SimulationPipeline(jobs=1, cache_dir=tmp_path) as pipe:
+            value = simulate_with(pipe)
+        # ... read back by a pooled executor ...
+        with SimulationPipeline(
+            executor=PoolExecutor(2), cache_dir=tmp_path
+        ) as pipe:
+            assert simulate_with(pipe) == value
+            hits, misses = pipe.cache_stats
+            assert hits == 1 and misses == 0
+        # ... and by both shards of a sharded executor (a cache hit
+        # beats shard ownership: the point is served, not skipped).
+        for index in (0, 1):
+            with SimulationPipeline(
+                executor=ShardedExecutor(index, 2, SerialExecutor()),
+                cache_dir=tmp_path,
+            ) as pipe:
+                assert simulate_with(pipe) == value
+                hits, misses = pipe.cache_stats
+                assert hits == 1 and misses == 0
+
+
+class TestCacheGC:
+    @staticmethod
+    def _fill(cache: ResultCache, n: int, mtime_step: float = 0.0):
+        import os
+        import time
+
+        now = time.time()
+        for i in range(n):
+            cache.put_value(f"k{i:02d}", float(i))
+            if mtime_step:
+                age = (n - i) * mtime_step
+                path = cache._path(f"k{i:02d}")
+                os.utime(path, (now - age, now - age))
+
+    def test_entries_sorted_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 3, mtime_step=100.0)
+        entries = cache.entries()
+        assert [e.key for e in entries] == ["k00", "k01", "k02"]
+        assert all(e.size > 0 for e in entries)
+
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats()["entries"] == 0
+        self._fill(cache, 4)
+        stats = cache.stats()
+        assert stats["entries"] == 4
+        assert stats["total_bytes"] == sum(e.size for e in cache.entries())
+
+    def test_prune_by_age(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 4, mtime_step=86400.0)  # 4, 3, 2, 1 days old
+        removed, kept = cache.prune(max_age_days=2.5)
+        assert sorted(e.key for e in removed) == ["k00", "k01"]
+        assert len(kept) == 2
+        assert cache.get_value("k00") is None  # gone from disk
+        assert cache.get_value("k03") == 3.0
+
+    def test_prune_by_size_evicts_oldest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 5, mtime_step=10.0)
+        entry = cache.entries()[0]
+        budget_mb = (entry.size * 2.5) / (1024 * 1024)
+        removed, kept = cache.prune(max_size_mb=budget_mb)
+        assert len(kept) == 2
+        assert [e.key for e in kept] == ["k03", "k04"]  # newest survive
+
+    def test_prune_dry_run_keeps_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 3, mtime_step=86400.0)
+        removed, _ = cache.prune(max_age_days=0.5, dry_run=True)
+        assert len(removed) == 3
+        assert len(cache.entries()) == 3  # nothing deleted
+
+    def test_prune_noop_without_limits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        removed, kept = cache.prune()
+        assert removed == [] and len(kept) == 2
+
+    def test_torn_tempfiles_are_not_entries(self, tmp_path):
+        """Crash leftovers from atomic writes never surface as entries."""
+        from repro.sim.executors import merge_shard_dirs
+
+        cache = ResultCache(tmp_path / "shard")
+        self._fill(cache, 2)
+        torn = tmp_path / "shard" / ".deadbeef.123.tmp.npz"
+        torn.write_bytes(b"torn write")
+        assert len(cache.entries()) == 2
+        assert cache.stats()["entries"] == 2
+        copied, skipped = merge_shard_dirs([tmp_path / "shard"], tmp_path / "out")
+        assert (copied, skipped) == (2, 0)
+        assert not (tmp_path / "out" / torn.name).exists()
+
+
+class TestCacheCLI:
+    def test_stats_ls_prune(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 3, mtime_step=86400.0)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "k00" in out and "age" in out
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-age-days", "1.5", "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would remove 2 entries" in out
+        assert len(cache.entries()) == 3
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-age-days", "1.5"]
+        ) == 0
+        assert len(cache.entries()) == 1
+
+    def test_prune_requires_a_limit(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 1

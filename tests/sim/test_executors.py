@@ -1,0 +1,207 @@
+"""Executor protocol: serial, pooled, sharded dispatch and shard merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.platforms.scenarios import build_model
+from repro.sim.executors import (
+    PoolExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    make_executor,
+    merge_shard_dirs,
+    shard_of,
+)
+from repro.sim.plan import (
+    ResultCache,
+    SimRequest,
+    WorkerPool,
+    plan_simulations,
+    request_key,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def fig_requests(n=12) -> list[SimRequest]:
+    model = build_model("Hera", 1)
+    return [
+        SimRequest(model=model, T=3600.0 + i, P=1000.0, n_runs=3, n_patterns=4)
+        for i in range(n)
+    ]
+
+
+class TestShardOf:
+    def test_deterministic(self):
+        keys = [request_key(r) for r in fig_requests()]
+        assert [shard_of(k, 3) for k in keys] == [shard_of(k, 3) for k in keys]
+
+    def test_in_range_and_spread(self):
+        keys = [request_key(r) for r in fig_requests(40)]
+        shards = {shard_of(k, 4) for k in keys}
+        assert shards <= {0, 1, 2, 3}
+        assert len(shards) > 1  # hash actually spreads the keys
+
+
+class TestSerialExecutor:
+    def test_order_preserving_map(self):
+        ex = SerialExecutor()
+        assert ex.map(_double, [3, 1, 2]) == [6, 2, 4]
+        assert ex.workers == 1
+
+    def test_owns_everything(self):
+        assert SerialExecutor().owns("deadbeef")
+
+
+class TestPoolExecutor:
+    def test_wraps_worker_count(self):
+        with PoolExecutor(3) as ex:
+            assert ex.workers == 3
+            assert ex.owns("deadbeef")
+            assert ex.map(_double, [5, 7]) == [10, 14]
+
+    def test_accepts_existing_pool(self):
+        pool = WorkerPool(2)
+        with PoolExecutor(pool) as ex:
+            assert ex.pool is pool
+
+
+class TestShardedExecutor:
+    def test_partition_is_disjoint_and_covering(self):
+        keys = [request_key(r) for r in fig_requests(30)]
+        owners = [
+            [ShardedExecutor(i, 3).owns(k) for i in range(3)] for k in keys
+        ]
+        assert all(sum(row) == 1 for row in owners)
+
+    def test_validates_bounds(self):
+        with pytest.raises(SimulationError):
+            ShardedExecutor(2, 2)
+        with pytest.raises(SimulationError):
+            ShardedExecutor(-1, 2)
+        with pytest.raises(SimulationError):
+            ShardedExecutor(0, 0)
+
+    def test_delegates_map_to_inner(self):
+        ex = ShardedExecutor(0, 2, inner=SerialExecutor())
+        assert ex.map(_double, [1, 2]) == [2, 4]
+        assert ex.workers == 1
+
+
+class TestMakeExecutor:
+    def test_serial_for_one_job(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(0), SerialExecutor)
+
+    def test_pool_for_many_jobs(self):
+        ex = make_executor(4)
+        assert isinstance(ex, PoolExecutor) and ex.workers == 4
+
+    def test_sharded_wraps_inner(self):
+        ex = make_executor(2, shard_index=1, shard_count=3)
+        assert isinstance(ex, ShardedExecutor)
+        assert isinstance(ex.inner, PoolExecutor)
+        assert ex.shard_index == 1 and ex.shard_count == 3
+
+
+class TestMergeShardDirs:
+    @staticmethod
+    def _fill(directory, keys_values):
+        cache = ResultCache(directory)
+        for key, value in keys_values:
+            cache.put_value(key, value)
+
+    def test_copies_and_counts(self, tmp_path):
+        self._fill(tmp_path / "a", [("k1", 1.0), ("k2", 2.0)])
+        self._fill(tmp_path / "b", [("k3", 3.0)])
+        copied, skipped = merge_shard_dirs(
+            [tmp_path / "a", tmp_path / "b"], tmp_path / "out"
+        )
+        assert (copied, skipped) == (3, 0)
+        merged = ResultCache(tmp_path / "out")
+        assert merged.get_value("k2") == 2.0
+        assert merged.get_value("k3") == 3.0
+
+    def test_identical_duplicates_skip(self, tmp_path):
+        self._fill(tmp_path / "a", [("k1", 1.0)])
+        (tmp_path / "b").mkdir()
+        import shutil
+
+        shutil.copyfile(tmp_path / "a" / "k1.npz", tmp_path / "b" / "k1.npz")
+        copied, skipped = merge_shard_dirs(
+            [tmp_path / "a", tmp_path / "b"], tmp_path / "out"
+        )
+        assert (copied, skipped) == (1, 1)
+
+    def test_conflicting_content_refuses(self, tmp_path):
+        self._fill(tmp_path / "a", [("k1", 1.0)])
+        self._fill(tmp_path / "out", [("k1", 99.0)])
+        with pytest.raises(SimulationError):
+            merge_shard_dirs([tmp_path / "a"], tmp_path / "out")
+
+    def test_missing_shard_dir_refuses(self, tmp_path):
+        with pytest.raises(SimulationError):
+            merge_shard_dirs([tmp_path / "nope"], tmp_path / "out")
+
+
+class TestShardedPlanExecution:
+    def test_foreign_points_stay_unresolved_and_cache_covers(self, tmp_path):
+        """serve_or_expand skips foreign keys; a merged cache serves them."""
+        from repro.sim.plan import merge_spans, run_job, serve_or_expand
+
+        requests = fig_requests(6)
+        plan = plan_simulations(requests)
+        ex0 = ShardedExecutor(0, 2)
+        cache0 = ResultCache(tmp_path / "s0")
+        estimates, jobs, spans = serve_or_expand(plan, cache0, None, owned=ex0.owns)
+        results = [run_job(j) for j in jobs]
+        merge_spans(plan, estimates, spans, results, cache0, None)
+        owned = [i for i, e in enumerate(estimates) if e is not None]
+        foreign = [i for i, e in enumerate(estimates) if e is None]
+        assert owned and foreign  # both sides non-trivial for this grid
+        assert all(ShardedExecutor(0, 2).owns(plan.keys[i]) for i in owned)
+        assert not any(ShardedExecutor(0, 2).owns(plan.keys[i]) for i in foreign)
+        # The same cache dir now serves the owned points without jobs.
+        again, jobs2, _ = serve_or_expand(plan, ResultCache(tmp_path / "s0"), None,
+                                          owned=ex0.owns)
+        assert [i for i, e in enumerate(again) if e is not None] == owned
+        assert jobs2 == []
+
+    def test_sharded_means_equal_serial_means(self, tmp_path):
+        """Union of shard results == serial results, bit for bit."""
+        from repro.sim.plan import execute_plan
+
+        requests = fig_requests(5)
+        plan = plan_simulations(requests)
+        serial = execute_plan(plan)
+        for index in (0, 1, 2):
+            cache = ResultCache(tmp_path / f"s{index}")
+            ex = ShardedExecutor(index, 3)
+            from repro.sim.plan import merge_spans, run_job, serve_or_expand
+
+            estimates, jobs, spans = serve_or_expand(plan, cache, None, owned=ex.owns)
+            merge_spans(plan, estimates, spans, [run_job(j) for j in jobs], cache, None)
+        merge_shard_dirs(
+            [tmp_path / f"s{i}" for i in range(3)], tmp_path / "merged"
+        )
+        merged = execute_plan(plan, cache=ResultCache(tmp_path / "merged"))
+        assert [e.mean for e in merged] == [e.mean for e in serial]
+        assert [e.std for e in merged] == [e.std for e in serial]
+
+
+class TestNumericalStability:
+    def test_pool_and_serial_identical(self):
+        from repro.sim.plan import execute_plan
+
+        plan = plan_simulations(fig_requests(4))
+        serial = execute_plan(plan)
+        with WorkerPool(2) as pool:
+            pooled = execute_plan(plan, pool=pool)
+        assert np.array_equal(
+            [e.mean for e in serial], [e.mean for e in pooled]
+        )
