@@ -1,4 +1,4 @@
-"""Deferred, batched simulation for the figure modules.
+"""Deferred, event-driven batched simulation for the figure modules.
 
 Figure modules used to call :func:`repro.experiments.common.simulate_mean`
 once per (scenario, x-point) — hundreds of small, strictly sequential
@@ -9,12 +9,16 @@ batches them:
 * a figure declares every Monte-Carlo point of its sweep up front by
   calling :meth:`SimulationPipeline.simulate_mean`, which returns a
   cheap :class:`Deferred` placeholder instead of a float;
-* once the sweep is declared, :meth:`SimulationPipeline.resolve` fuses
-  all pending points into one :class:`repro.sim.plan.SimulationPlan`,
-  dispatches every chunk job over **one shared**
+* :meth:`SimulationPipeline.resolve` fuses all pending points into one
+  :class:`repro.sim.plan.SimulationPlan`, serves memo/disk cache hits
+  immediately, and hands the remaining chunk jobs to a
+  :class:`repro.sim.scheduler.Scheduler` that keeps a bounded window
+  of jobs in flight on the shared
   :class:`repro.sim.executors.Executor` (serial, pooled or sharded —
-  reused across figures by the CLI runner), consults the on-disk
-  :class:`~repro.sim.plan.ResultCache`, and fills the placeholders in;
+  reused across figures by the CLI runner).  Each :class:`Deferred`
+  resolves the moment the last chunk of *its own point* completes —
+  no wave barrier: a slow point never blocks an unrelated one, and the
+  caller observes completions point by point via ``on_event``;
 * :func:`materialize` swaps the placeholders inside already-built row
   structures for their values, so figure code keeps its natural
   row-building shape.
@@ -22,18 +26,20 @@ batches them:
 Extension studies whose samplers are event-driven (Weibull renewal,
 per-node failures) join the same batch through
 :meth:`SimulationPipeline.call`: any picklable module-level function
-becomes a job on the shared pool, with the same content-addressed
-caching.
+becomes a scheduled job, with the same content-addressed caching.
 
 Every value is **bit-identical** to the sequential per-point path for
 the same :class:`~repro.experiments.common.SimSettings`: the planner
 replays the exact chunk plans and seed streams of
-:func:`repro.sim.montecarlo.simulate_overhead`, and the pool width,
-cache state and dispatch order never enter the sampled numbers.
+:func:`repro.sim.montecarlo.simulate_overhead`, per-point merging is
+in chunk order (never completion order), and the pool width, cache
+state, in-flight window and completion interleaving never enter the
+sampled numbers.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import SimulationError
@@ -42,21 +48,25 @@ from ..sim.plan import (
     ResultCache,
     SimRequest,
     call_key,
-    merge_spans,
+    claim_serve_expand,
+    merge_request_results,
     plan_simulations,
-    run_job,
-    serve_or_expand,
+    request_jobs,
+    request_key,
 )
-
-#: Claim marker for call keys an executor shard does not own; their
-#: deferred values resolve to ``None`` (like a disabled simulation).
-_FOREIGN = object()
+from ..sim.scheduler import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (common imports sim)
     from ..core.pattern import PatternModel
     from .common import SimSettings
 
-__all__ = ["Deferred", "SimulationPipeline", "materialize", "private_pipeline"]
+__all__ = [
+    "Deferred",
+    "PointEvent",
+    "SimulationPipeline",
+    "materialize",
+    "private_pipeline",
+]
 
 
 class Deferred:
@@ -95,6 +105,21 @@ class Deferred:
         return f"Deferred({self._value!r})" if self._ready else "Deferred(<pending>)"
 
 
+@dataclass(frozen=True)
+class PointEvent:
+    """One declared point resolving (the ``on_event`` payload).
+
+    ``status`` says how the value materialized: ``"computed"`` (its
+    chunk jobs ran this round), ``"served"`` (memo or disk cache), or
+    ``"skipped"`` (a sharded executor did not claim it; the value is
+    ``None``).  ``group`` is the study label active when the point was
+    declared (see :attr:`SimulationPipeline.current_group`).
+    """
+
+    group: str | None
+    status: str
+
+
 def private_pipeline(settings: "SimSettings") -> "SimulationPipeline":
     """A figure module's fallback pipeline when none was passed in.
 
@@ -121,7 +146,7 @@ def materialize(obj):
 
 
 class SimulationPipeline:
-    """Shared pool + caches for all figure sweeps of one invocation.
+    """Shared scheduler + caches for all figure sweeps of one invocation.
 
     Parameters
     ----------
@@ -139,9 +164,14 @@ class SimulationPipeline:
         An explicit :class:`repro.sim.executors.Executor` overriding
         the one implied by ``jobs`` — this is how a CLI shard run
         injects a :class:`~repro.sim.executors.ShardedExecutor`.
-        Points whose plan key the executor disowns are skipped (their
-        deferred values resolve to ``None``); serial and pooled
-        executors own everything.
+        Points whose plan key the executor does not claim are skipped
+        (their deferred values resolve to ``None``); serial and pooled
+        executors claim everything.
+    max_inflight:
+        Bound on concurrently in-flight chunk jobs across the whole
+        invocation (the scheduler's global window).  ``None`` sizes it
+        from the executor's worker count; ``1`` degenerates to strict
+        serial submission order.
     """
 
     def __init__(
@@ -149,11 +179,16 @@ class SimulationPipeline:
         jobs: int | None = 1,
         cache_dir=None,
         executor: Executor | None = None,
+        max_inflight: int | None = None,
     ):
         self.executor = executor if executor is not None else make_executor(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.max_inflight = max_inflight
         self._memo: dict[str, object] = {}
-        self._pending: list[tuple[str, object, Deferred]] = []
+        self._pending: list[tuple] = []  # (kind, item, deferred, group)
+        #: Label attached to subsequently declared points (the staging
+        #: engine sets it to the study name around each declare phase).
+        self.current_group: str | None = None
         self.points_submitted = 0
         self.points_computed = 0
         self.points_skipped = 0
@@ -197,12 +232,12 @@ class SimulationPipeline:
             workers=settings.workers,
         )
         deferred = Deferred()
-        self._pending.append(("request", request, deferred))
+        self._pending.append(("request", request, deferred, self.current_group))
         self.points_submitted += 1
         return deferred
 
     def call(self, fn: Callable, *args, **kwargs) -> Deferred:
-        """Defer a generic simulation call onto the shared pool.
+        """Defer a generic simulation call onto the shared scheduler.
 
         ``fn`` must be a picklable module-level function whose result is
         a float (the extension studies use this for their event-driven
@@ -210,24 +245,76 @@ class SimulationPipeline:
         function's qualified name and canonicalised arguments.
         """
         deferred = Deferred()
-        self._pending.append(("call", (fn, args, kwargs), deferred))
+        self._pending.append(("call", (fn, args, kwargs), deferred, self.current_group))
         self.points_submitted += 1
         return deferred
 
+    # -- previewing it (dry runs) ------------------------------------------
+
+    def pending_report(self) -> dict[str, dict[str, int]]:
+        """Planned-work summary per study group, without executing.
+
+        For every group (in first-declaration order): declared points,
+        unique new keys, points deduplicated against earlier
+        declarations or the in-memory memo, expected disk-cache hits,
+        points left to compute, and the chunk jobs they expand into.
+        Pure preview — pending points stay pending, and the cache's
+        hit/miss accounting is untouched.
+        """
+        report: dict[str, dict[str, int]] = {}
+        seen: set[str] = set()
+        for kind, item, _, group in self._pending:
+            entry = report.setdefault(
+                group if group is not None else "(ungrouped)",
+                {
+                    "points": 0,
+                    "unique": 0,
+                    "deduped": 0,
+                    "cache_hits": 0,
+                    "to_compute": 0,
+                    "jobs": 0,
+                },
+            )
+            entry["points"] += 1
+            if kind == "request":
+                key = request_key(item)
+            else:
+                fn, args, kwargs = item
+                key = call_key(fn, args, kwargs)
+            if key in seen or key in self._memo:
+                entry["deduped"] += 1
+                continue
+            seen.add(key)
+            entry["unique"] += 1
+            if self.cache is not None and self.cache.contains(key):
+                entry["cache_hits"] += 1
+                continue
+            entry["to_compute"] += 1
+            entry["jobs"] += len(request_jobs(item)) if kind == "request" else 1
+        return report
+
     # -- running it --------------------------------------------------------
 
-    def resolve(self, count: int | None = None) -> None:
-        """Fuse pending points into one plan and dispatch it.
+    def resolve(
+        self,
+        count: int | None = None,
+        max_inflight: int | None = None,
+        on_event: Callable[[PointEvent], None] | None = None,
+    ) -> None:
+        """Schedule pending points; deferreds fill as futures complete.
 
         Incremental: only points declared since the last resolve run;
         the executor and caches persist across rounds.  ``count``
-        resolves just the first ``count`` pending points (in
-        declaration order) — the streaming runner uses this to emit a
-        figure's tables while later figures are still queued.
+        restricts the round to the first ``count`` pending points (in
+        declaration order) — kept for wave-style callers; the CLI
+        runner schedules *everything* in one round and relies on
+        ``on_event`` firing per resolved declaration to stream output.
 
-        With a sharded executor, points whose plan key the shard does
-        not own are skipped: their deferred values resolve to ``None``
-        and :attr:`points_skipped` counts them.
+        Memo/cache hits and unclaimed (foreign-shard) points resolve
+        before any job runs — the cache-serve short-circuit; computed
+        points resolve one by one as their last chunk job lands, in
+        completion order.  A job exception closes the executor (the
+        pool cancels whatever was still queued) before propagating.
         """
         if not self._pending:
             return
@@ -236,71 +323,108 @@ class SimulationPipeline:
         else:
             pending, self._pending = self._pending[:count], self._pending[count:]
 
-        requests = [item for kind, item, _ in pending if kind == "request"]
+        requests = [item for kind, item, _, _ in pending if kind == "request"]
         plan = plan_simulations(requests)
 
-        # Serve memo/disk hits, expand the rest into one fused job list
-        # (shared with repro.sim.plan.execute_plan), then append the
-        # generic call jobs so everything rides one pool dispatch.
-        estimates, jobs, spans = serve_or_expand(
-            plan, self.cache, self._memo, owned=self.executor.owns
+        # Cache-serve short-circuit + one batched claim + tagged
+        # expansion (slowest backend first, as always).
+        estimates, tagged_jobs, books = claim_serve_expand(
+            plan, self.cache, self._memo, executor=self.executor
         )
 
-        call_values: dict[str, object] = {}
-        call_spans: list[tuple[str, int]] = []  # (key, job index)
-        call_slots: list[tuple[object, str]] = []  # (deferred, key) in pending order
-        for kind, item, deferred in pending:
-            if kind != "call":
-                continue
-            fn, args, kwargs = item
-            key = call_key(fn, args, kwargs)
-            call_slots.append((deferred, key))
-            if key in call_values:
-                continue
+        # Declaration bookkeeping: which deferreds each unique request /
+        # call key fans out to (duplicates share one computation).
+        point_decls: dict[int, list[tuple[Deferred, str | None]]] = {}
+        call_decls: dict[str, list[tuple[Deferred, str | None]]] = {}
+        call_items: list[tuple[str, tuple]] = []  # first-seen call keys
+        slot_iter = iter(plan.slots)
+        for kind, item, deferred, group in pending:
+            if kind == "request":
+                point_decls.setdefault(next(slot_iter), []).append((deferred, group))
+            else:
+                fn, args, kwargs = item
+                key = call_key(fn, args, kwargs)
+                if key not in call_decls:
+                    call_items.append((key, item))
+                call_decls.setdefault(key, []).append((deferred, group))
+
+        def deliver(decls, value, status) -> None:
+            for deferred, group in decls:
+                if status == "skipped":
+                    self.points_skipped += 1
+                deferred._set(value)
+                if on_event is not None:
+                    on_event(PointEvent(group=group, status=status))
+
+        # Serve/skip calls: memo, disk cache, then one claim batch for
+        # the rest (mirrors the request path; a work-stealing shard
+        # claims exclusively in its deterministic claim order).
+        call_jobs: list[tuple[str, tuple]] = []
+        unserved_calls: list[tuple[str, tuple]] = []
+        for key, item in call_items:
             if key in self._memo:
-                call_values[key] = self._memo[key]
+                deliver(call_decls[key], self._memo[key], "served")
                 continue
             if self.cache is not None:
                 hit = self.cache.get_value(key)
                 if hit is not None:
-                    call_values[key] = self._memo[key] = hit
+                    self._memo[key] = hit
+                    deliver(call_decls[key], hit, "served")
                     continue
-            if not self.executor.owns(key):
-                call_values[key] = _FOREIGN
-                continue
-            call_values[key] = None  # claimed: computed below
-            call_spans.append((key, len(jobs)))
-            jobs.append((fn, args, kwargs))
-
-        results = self.executor.map(run_job, jobs)
-        self.points_computed += len(jobs)
-
-        merge_spans(plan, estimates, spans, results, self.cache, self._memo)
-        for key, index in call_spans:
-            value = results[index]
-            call_values[key] = self._memo[key] = value
-            if self.cache is not None:
-                self.cache.put_value(key, float(value))
-
-        # Fan values back out to the deferred placeholders.  Estimates
-        # can stay None only for foreign-shard points;
-        # ``points_skipped`` counts skipped *declarations* (the same
-        # unit as ``points_submitted``), so a shard's computed + served
-        # + skipped bookkeeping always balances.
-        request_iter = iter(plan.slots)
-        call_iter = iter(call_slots)
-        for kind, _, deferred in pending:
-            if kind == "request":
-                estimate = estimates[next(request_iter)]
-                if estimate is None:
-                    self.points_skipped += 1
-                deferred._set(None if estimate is None else estimate.mean)
+            unserved_calls.append((key, item))
+        claimed_calls = set(self.executor.claim([key for key, _ in unserved_calls]))
+        for key, item in unserved_calls:
+            if key in claimed_calls:
+                call_jobs.append((key, item))
             else:
-                _, key = next(call_iter)
-                value = call_values[key]
-                if value is _FOREIGN:
-                    self.points_skipped += 1
-                deferred._set(None if value is _FOREIGN else value)
+                deliver(call_decls[key], None, "skipped")
+
+        # Serve/skip requests whose value needs no job this round.
+        for i, decls in point_decls.items():
+            if i in books:
+                continue  # computing: delivered on its last completion
+            estimate = estimates[i]
+            if estimate is None:
+                deliver(decls, None, "skipped")
+            else:
+                deliver(decls, estimate.mean, "served")
+
+        # Event-driven dispatch: one global in-flight window over the
+        # executor; each point resolves the moment its last chunk lands.
+        scheduler = Scheduler(
+            self.executor,
+            max_inflight if max_inflight is not None else self.max_inflight,
+        )
+        for job, tag in tagged_jobs:
+            scheduler.add(job, tag)
+        for key, item in call_jobs:
+            scheduler.add(item, ("call", key))
+        try:
+            for tag, result in scheduler.events():
+                self.points_computed += 1
+                if tag[0] == "call":
+                    key = tag[1]
+                    self._memo[key] = result
+                    if self.cache is not None:
+                        self.cache.put_value(key, float(result))
+                    deliver(call_decls[key], result, "computed")
+                    continue
+                i, part = tag
+                if not books[i].deliver(part, result):
+                    continue
+                estimate = merge_request_results(
+                    plan.requests[i], plan.methods[i], books[i].parts
+                )
+                estimates[i] = estimate
+                self._memo[plan.keys[i]] = estimate
+                if self.cache is not None:
+                    self.cache.put_estimate(plan.keys[i], estimate)
+                deliver(point_decls.get(i, ()), estimate.mean, "computed")
+        except BaseException:
+            # A failed job must not leak worker processes: shut the
+            # executor down (cancelling queued pool work) on the way out.
+            self.executor.close()
+            raise
 
     # -- lifecycle ---------------------------------------------------------
 

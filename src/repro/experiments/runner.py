@@ -29,8 +29,9 @@ import argparse
 import re
 import sys
 import time
+from collections import Counter, defaultdict
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..exceptions import InvalidParameterError
 from ..io.stream import StreamingEmitter
@@ -117,15 +118,27 @@ def _settings_from_args(args: argparse.Namespace) -> SimSettings:
 def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
     """Validated ``(shard_index, shard_count)``, or None when unsharded."""
     count = getattr(args, "shard_count", None)
+    mode = getattr(args, "shard_mode", "static")
+    claim_dir = getattr(args, "claim_dir", None)
     if count is None:
         if getattr(args, "shard_index", None) is not None:
             raise SystemExit("--shard-index requires --shard-count")
+        if mode != "static":
+            raise SystemExit("--shard-mode requires --shard-count")
+        if claim_dir is not None:
+            raise SystemExit("--claim-dir requires --shard-mode stealing")
         return None
     index = args.shard_index if args.shard_index is not None else 0
     if count < 1 or not 0 <= index < count:
         raise SystemExit(f"shard {index}/{count} is out of range")
     if getattr(args, "shard_dir", None) is None:
         raise SystemExit("--shard-count requires --shard-dir (the shard's npz output)")
+    if mode == "stealing" and claim_dir is None:
+        raise SystemExit(
+            "--shard-mode stealing requires --claim-dir (the shared claim board)"
+        )
+    if mode == "static" and claim_dir is not None:
+        raise SystemExit("--claim-dir only applies to --shard-mode stealing")
     return index, count
 
 
@@ -142,6 +155,9 @@ def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
     """
     jobs = args.jobs if args.jobs is not None else args.workers
     jobs = 1 if jobs is None else jobs
+    max_inflight = getattr(args, "max_inflight", None)
+    if max_inflight is not None and max_inflight < 1:
+        raise SystemExit("--max-inflight must be >= 1")
     shard = _shard_args(args)
     if shard is not None:
         if args.cache_dir is not None or args.no_cache:
@@ -153,10 +169,16 @@ def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
                 "with --cache-dir on the merged directory)"
             )
         index, count = shard
-        executor = make_executor(jobs, index, count)
-        return SimulationPipeline(executor=executor, cache_dir=args.shard_dir)
+        executor = make_executor(
+            jobs, index, count, shard_mode=args.shard_mode, claim_dir=args.claim_dir
+        )
+        return SimulationPipeline(
+            executor=executor, cache_dir=args.shard_dir, max_inflight=max_inflight
+        )
     cache_dir = None if args.no_cache else args.cache_dir
-    return SimulationPipeline(jobs=jobs, cache_dir=cache_dir)
+    return SimulationPipeline(
+        jobs=jobs, cache_dir=cache_dir, max_inflight=max_inflight
+    )
 
 
 def _platforms_for(spec: StudySpec, args: argparse.Namespace) -> tuple[str, ...]:
@@ -190,23 +212,80 @@ def _resolve_and_emit(
     pipeline: SimulationPipeline,
     emitter: StreamingEmitter | None,
     collect: list | None = None,
+    on_event: Callable | None = None,
 ) -> None:
-    """Resolve the pipeline wave by wave, streaming each study out.
+    """Resolve every staged study in one event-driven round.
 
-    Each wave covers exactly the points one study declared, so earlier
-    studies print while later ones are still unsimulated.  In shard
+    All studies' planned jobs share one global in-flight window — no
+    wave barriers, so a slow chunk in one study never stalls another's
+    dispatch.  Every resolved point pumps the emitter: a study's
+    tables print the moment its last point lands (head-of-line order
+    keeps the output bytes identical to the buffered path).  In shard
     mode (``emitter`` is None, ``collect`` is None) the studies are
     resolved for their side effect only: shard npz output.
     """
-    for stage in staged:
-        pipeline.resolve(count=stage.n_pending)
-        if emitter is not None:
-            emitter.add(stage)
-            emitter.pump()
-        elif collect is not None:
-            collect.append((stage.ctx.spec.name, stage.finish()))
     if emitter is not None:
-        emitter.drain(resolve=pipeline.resolve)
+        for stage in staged:
+            emitter.add(stage)
+
+    def _on_point(event) -> None:
+        if on_event is not None:
+            on_event(event)
+        if emitter is not None:
+            emitter.on_event(event)
+
+    pipeline.resolve(on_event=_on_point)
+    if emitter is not None:
+        emitter.drain()
+    elif collect is not None:
+        for stage in staged:
+            collect.append((stage.ctx.spec.name, stage.finish()))
+
+
+def _progress_printer(staged: Sequence, stream=None) -> Callable:
+    """Per-study progress lines (stderr) as the scheduler resolves points."""
+    stream = stream if stream is not None else sys.stderr
+    totals: dict[str, int] = defaultdict(int)
+    for stage in staged:
+        totals[stage.ctx.spec.name] += stage.n_pending
+    tallies: dict[str, Counter] = defaultdict(Counter)
+
+    def on_event(event) -> None:
+        group = event.group if event.group is not None else "?"
+        tally = tallies[group]
+        tally[event.status] += 1
+        done = sum(tally.values())
+        print(
+            f"[progress] {group} {done}/{totals.get(group, done)} "
+            f"computed={tally['computed']} served={tally['served']} "
+            f"skipped={tally['skipped']}",
+            file=stream,
+        )
+
+    return on_event
+
+
+def _print_dry_run(pipeline: SimulationPipeline, stream=None) -> None:
+    """Planned-work report of every staged study (``--dry-run``)."""
+    stream = stream or sys.stdout
+    report = pipeline.pending_report()
+    totals: Counter = Counter()
+    for name, entry in report.items():
+        totals.update(entry)
+        print(
+            f"[dry-run] {name}: {entry['points']} points "
+            f"({entry['unique']} unique, {entry['deduped']} deduped), "
+            f"{entry['cache_hits']} cache hits, "
+            f"{entry['to_compute']} to compute -> {entry['jobs']} chunk jobs",
+            file=stream,
+        )
+    print(
+        f"[dry-run] total: {totals['points']} points, "
+        f"{totals['deduped']} deduped, {totals['cache_hits']} cache hits, "
+        f"{totals['to_compute']} to compute -> {totals['jobs']} chunk jobs "
+        f"(nothing executed)",
+        file=stream,
+    )
 
 
 def _add_common_options(
@@ -252,6 +331,26 @@ def _add_common_options(
         "pool (default: the --workers value, else serial)",
     )
     sub.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on concurrently in-flight chunk jobs across the whole "
+        "invocation (default: 4x the pool width; 1 = strict serial order)",
+    )
+    sub.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-study computed/served/skipped counts to stderr as "
+        "points resolve (off by default; table output is unaffected)",
+    )
+    sub.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the planned job count, dedup savings and expected cache "
+        "hits per study, then exit without simulating anything",
+    )
+    sub.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -283,6 +382,21 @@ def _add_common_options(
         default=None,
         metavar="DIR",
         help="npz output directory of this shard (fused later by `merge`)",
+    )
+    sub.add_argument(
+        "--shard-mode",
+        choices=["static", "stealing"],
+        default="static",
+        help="shard partition: 'static' owns the fixed shard_of slice; "
+        "'stealing' claims keys exclusively from a shared claim board, so "
+        "idle shards take over unclaimed work (requires --claim-dir)",
+    )
+    sub.add_argument(
+        "--claim-dir",
+        default=None,
+        metavar="DIR",
+        help="shared claim-board directory for --shard-mode stealing "
+        "(a filesystem all shards can reach)",
     )
     sub.add_argument("--csv", default=None, metavar="DIR", help="also dump CSV files")
 
@@ -459,7 +573,9 @@ def _write_report(args: argparse.Namespace, pipeline: SimulationPipeline) -> Non
     settings = _settings_from_args(args)
     collected: list[tuple[str, list[FigureResult]]] = []
     staged = _stage_specs([get_spec(n) for n in REGISTRY], args, pipeline)
-    _resolve_and_emit(staged, pipeline, emitter=None, collect=collected)
+    on_event = _progress_printer(staged) if args.progress else None
+    _resolve_and_emit(staged, pipeline, emitter=None, collect=collected,
+                      on_event=on_event)
     # Re-group per study (fig2 --all-platforms stages one study per
     # platform but the report keeps one section per figure).
     sections: list[tuple[str, list[FigureResult]]] = []
@@ -573,12 +689,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             "run `report --cache-dir <merged>`"
         )
     with _pipeline_from_args(args) as pipeline:
+        if args.dry_run:
+            _stage_specs(specs, args, pipeline)
+            _print_dry_run(pipeline)
+            return 0
         if args.command == "report":
             _write_report(args, pipeline)
         else:
             staged = _stage_specs(specs, args, pipeline)
             emitter = None if sharded else StreamingEmitter(csv_dir=args.csv)
-            _resolve_and_emit(staged, pipeline, emitter=emitter)
+            on_event = _progress_printer(staged) if args.progress else None
+            _resolve_and_emit(staged, pipeline, emitter=emitter, on_event=on_event)
         if sharded:
             index, count = _shard_args(args)
             print(

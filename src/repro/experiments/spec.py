@@ -418,7 +418,15 @@ def stage_study(
     )
     before = pipeline.pending_points
     declare = spec.declare if spec.declare is not None else _sweep_declare
-    state = declare(ctx)
+    # Label every point this declare phase emits with the study name so
+    # event-driven resolution (progress counters, completion-driven
+    # emission, dry-run previews) can attribute completions per study.
+    previous_group = pipeline.current_group
+    pipeline.current_group = spec.name
+    try:
+        state = declare(ctx)
+    finally:
+        pipeline.current_group = previous_group
     return StagedStudy(ctx=ctx, state=state, n_pending=pipeline.pending_points - before)
 
 

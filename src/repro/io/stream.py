@@ -1,16 +1,21 @@
-"""Streaming figure emission.
+"""Streaming figure emission, driven by point completions.
 
 The CLI runner stages every study of an invocation up front, then
-resolves the shared simulation pipeline in *waves* — one per staged
-study, in declaration order.  This emitter is the output half of that
-loop: each study's tables (and optional CSV dumps) are printed the
-moment its wave resolves, so ``repro-experiments all --jobs N`` shows
-Figure 2 while Figure 5's Monte-Carlo points are still queued, instead
-of buffering the whole evaluation.
+resolves the shared simulation pipeline in **one event-driven round**:
+all studies' chunk jobs share a global in-flight window, and every
+completed point fires an event.  This emitter is the output half of
+that loop — the runner pumps it on each event, so a study's tables
+(and optional CSV dumps) print the moment its *last* point lands,
+while other studies are still simulating; ``repro-experiments all
+--jobs N`` shows Figure 2 while Figure 5's Monte-Carlo points are
+still in flight, instead of buffering the whole evaluation.
 
-The emitted bytes are identical to the historical
-materialize-everything-then-print path: streaming changes *when* a
-table appears, never what it contains.
+Because :meth:`StreamingEmitter.pump` flushes head-of-line (a study
+prints only once every study registered before it has printed), the
+emitted bytes are identical to the historical
+materialize-everything-then-print path whatever order the points
+complete in: event-driven emission changes *when* a table appears,
+never what it contains or the order tables are printed.
 """
 
 from __future__ import annotations
@@ -57,7 +62,10 @@ class StreamingEmitter:
         """Emit every leading queued study whose values have resolved.
 
         Returns the number of studies flushed.  Head-of-line blocking
-        is deliberate: it pins the output order.
+        is deliberate: it pins the output order.  Cheap enough to call
+        once per completed point — the readiness probe touches only the
+        queue head, so out-of-order completions deep in the queue cost
+        nothing until their study reaches the front.
         """
         flushed = 0
         while self._queue and self._queue[0].ready():
@@ -65,6 +73,15 @@ class StreamingEmitter:
             self.emit_results(staged.finish())
             flushed += 1
         return flushed
+
+    def on_event(self, event=None) -> int:
+        """Completion-event hook: alias of :meth:`pump` for callbacks.
+
+        Suitable as (part of) a ``SimulationPipeline.resolve``
+        ``on_event`` callback; the event payload itself is ignored —
+        any resolved point may have been the head study's last one.
+        """
+        return self.pump()
 
     def drain(self, resolve: Callable[[], None] | None = None) -> int:
         """Flush the whole queue, optionally resolving first."""

@@ -8,24 +8,34 @@ changes wall-clock and placement only, never the sampled numbers.
 
 * :class:`SerialExecutor` — in-process, no pool.  The default.
 * :class:`PoolExecutor` — one shared :class:`~repro.sim.plan.WorkerPool`
-  (today's ``--jobs`` behaviour).
-* :class:`ShardedExecutor` — deterministically *owns* a subset of the
-  planned points (partitioned by plan key) and skips the rest, so a
-  sweep can be split across machines; each shard writes its results
-  into a content-addressed shard directory that
-  ``repro-experiments merge`` fuses into one cache.
+  (today's ``--jobs`` behaviour), with a real async ``submit`` path.
+* :class:`ShardedExecutor` — computes a subset of the planned points
+  and skips the rest, so a sweep can be split across machines; each
+  shard writes its results into a content-addressed shard directory
+  that ``repro-experiments merge`` fuses into one cache.  Partitioning
+  is either the static ``shard_of`` key hash or a work-stealing claim
+  over a shared :class:`ClaimBoard`.
+
+Every executor speaks both dispatch dialects: the blocking
+order-preserving :meth:`~repro.sim.executors.base.Executor.map`, and
+the event-driven :meth:`~repro.sim.executors.base.Executor.submit` /
+:meth:`~repro.sim.executors.base.Executor.as_completed` pair consumed
+by :class:`repro.sim.scheduler.Scheduler`.
 """
 
-from .base import Executor, shard_of
+from .base import Executor, JobFuture, shard_of
 from .pooled import PoolExecutor
 from .serial import SerialExecutor
-from .sharded import ShardedExecutor, merge_shard_dirs
+from .sharded import ClaimBoard, ShardedExecutor, claim_order, merge_shard_dirs
 
 __all__ = [
     "Executor",
+    "JobFuture",
     "SerialExecutor",
     "PoolExecutor",
     "ShardedExecutor",
+    "ClaimBoard",
+    "claim_order",
     "merge_shard_dirs",
     "shard_of",
     "make_executor",
@@ -36,12 +46,15 @@ def make_executor(
     jobs: int | None = 1,
     shard_index: int | None = None,
     shard_count: int | None = None,
+    shard_mode: str = "static",
+    claim_dir=None,
 ) -> Executor:
     """Build the executor implied by the CLI flags.
 
     ``jobs`` follows :class:`~repro.sim.plan.WorkerPool` semantics
     (``None`` auto-sizes, ``<= 1`` is serial); shard flags wrap the
-    resulting executor in a :class:`ShardedExecutor`.
+    resulting executor in a :class:`ShardedExecutor` (``shard_mode``
+    picks the static partition or work stealing over ``claim_dir``).
     """
     inner: Executor
     if jobs is not None and jobs <= 1:
@@ -50,6 +63,10 @@ def make_executor(
         inner = PoolExecutor(jobs)
     if shard_count is not None:
         return ShardedExecutor(
-            shard_index if shard_index is not None else 0, shard_count, inner
+            shard_index if shard_index is not None else 0,
+            shard_count,
+            inner,
+            mode=shard_mode,
+            claim_dir=claim_dir,
         )
     return inner

@@ -1,10 +1,35 @@
-"""The executor protocol shared by serial, pooled and sharded dispatch."""
+"""The executor protocol shared by serial, pooled and sharded dispatch.
+
+Two dispatch surfaces coexist on the protocol:
+
+* the historical blocking :meth:`Executor.map` (order-preserving, one
+  barrier per call) — kept for library callers and the plan-level
+  :func:`repro.sim.plan.execute_plan`;
+* the event-driven pair :meth:`Executor.submit` /
+  :meth:`Executor.as_completed` used by
+  :class:`repro.sim.scheduler.Scheduler`: jobs enter one at a time and
+  complete out of order, so a slow chunk never barriers the rest of the
+  sweep.  The base implementation runs each submitted job inline and
+  queues its (already resolved) :class:`JobFuture` FIFO — exactly
+  serial semantics — so every executor is schedulable even before it
+  overrides anything.
+
+:meth:`Executor.claim` is the partitioning hook: given the plan keys
+that still need computing, it returns the subset this executor will
+run.  The default claims everything via :meth:`owns`; the sharded
+executor overrides it with a static partition or a work-stealing claim
+order.  Jobs are pure functions of their arguments, so none of this
+ever changes a sampled number — only where and when it is produced.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections import deque
+from typing import Callable, Iterator, Sequence
 
-__all__ = ["Executor", "shard_of"]
+from ...exceptions import SimulationError
+
+__all__ = ["Executor", "JobFuture", "shard_of"]
 
 
 def shard_of(key: str, shard_count: int) -> int:
@@ -16,29 +41,150 @@ def shard_of(key: str, shard_count: int) -> int:
     return int(key[:8], 16) % shard_count
 
 
+class JobFuture:
+    """Completion handle of one submitted executor job.
+
+    Carries the job itself (``fn``, ``item``) so an executor whose pool
+    dies mid-flight can re-run the job inline — jobs are pure, so the
+    retry yields the identical result — plus an opaque ``tag`` the
+    scheduler uses to map completions back to plan bookkeeping.  A job
+    exception is captured and re-raised at :meth:`result` time.
+    """
+
+    __slots__ = ("fn", "item", "tag", "_done", "_result", "_error")
+
+    def __init__(self, fn: Callable, item, tag=None):
+        self.fn = fn
+        self.item = item
+        self.tag = tag
+        self._done = False
+        self._result = None
+        self._error: BaseException | None = None
+
+    def _finish(self, result) -> None:
+        self._result = result
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+
+    def _run_inline(self) -> None:
+        """Execute the job in the calling process (submit or retry path)."""
+        try:
+            self._finish(self.fn(self.item))
+        except Exception as exc:
+            self._fail(exc)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self):
+        """The job's return value (raises the job's exception, if any)."""
+        if not self._done:
+            raise SimulationError("job future read before completion")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self._done else (
+            "failed" if self._error is not None else "done"
+        )
+        return f"JobFuture({state}, tag={self.tag!r})"
+
+
 class Executor:
     """Where the planned chunk jobs of a simulation batch run.
 
-    The contract mirrors :meth:`repro.sim.plan.WorkerPool.map`: an
-    order-preserving map over pure job functions.  :meth:`owns` is the
-    sharding hook — the pipeline skips expanding any point whose plan
-    key the executor disowns (serial and pooled executors own every
-    key).
+    Blocking surface: :meth:`map` mirrors
+    :meth:`repro.sim.plan.WorkerPool.map` (order-preserving).  Async
+    surface: :meth:`submit` returns a :class:`JobFuture` and
+    :meth:`next_completed` / :meth:`as_completed` drain completions in
+    whatever order they land.  :meth:`claim` / :meth:`owns` are the
+    partitioning hooks — the pipeline never expands a point whose plan
+    key the executor does not claim (serial and pooled executors claim
+    every key).
     """
 
     #: Worker-process count the executor dispatches over (1 = serial).
     workers: int = 1
 
+    # -- partitioning ------------------------------------------------------
+
     def owns(self, key: str) -> bool:
         """Whether this executor computes the point with plan key ``key``."""
         return True
+
+    def claim(self, keys: Sequence[str]) -> list[str]:
+        """The subset of ``keys`` this executor will compute.
+
+        Called once per scheduling round with every key that still
+        needs computing (cache misses only), before any job is
+        expanded.  The default claims whatever :meth:`owns` accepts,
+        preserving order; the work-stealing sharded executor overrides
+        this with an exclusive claim in deterministic steal order.
+        """
+        return [key for key in keys if self.owns(key)]
+
+    # -- blocking dispatch -------------------------------------------------
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Order-preserving map of ``fn`` over ``items``."""
         raise NotImplementedError
 
+    # -- event-driven dispatch ---------------------------------------------
+
+    @property
+    def _completed(self) -> deque:
+        """FIFO of resolved futures not yet handed to the caller."""
+        queue = getattr(self, "_completed_futures", None)
+        if queue is None:
+            queue = self._completed_futures = deque()
+        return queue
+
+    def submit(self, fn: Callable, item, tag=None) -> JobFuture:
+        """Submit one job; the base implementation runs it inline.
+
+        Inline execution gives serial executors their semantics for
+        free: every future is already resolved when it returns, and
+        :meth:`next_completed` yields them in submission order.
+        """
+        future = JobFuture(fn, item, tag)
+        future._run_inline()
+        self._completed.append(future)
+        return future
+
+    def next_completed(self) -> JobFuture | None:
+        """The next completed outstanding future, or ``None`` when idle.
+
+        Blocks until a completion is available if jobs are genuinely
+        in flight (pooled executors); never blocks when nothing is
+        outstanding.
+        """
+        if self._completed:
+            return self._completed.popleft()
+        return None
+
+    def as_completed(self) -> Iterator[JobFuture]:
+        """Yield outstanding futures as they complete (drains the queue)."""
+        while True:
+            future = self.next_completed()
+            if future is None:
+                return
+            yield future
+
+    # -- lifecycle ---------------------------------------------------------
+
     def close(self) -> None:
-        """Release any held resources (idempotent)."""
+        """Release any held resources (idempotent).
+
+        Also discards completed-but-unconsumed futures: after an
+        aborted round their stale tags must never leak into the next
+        round's bookkeeping.
+        """
+        self._completed.clear()
 
     def __enter__(self) -> "Executor":
         return self

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from ...exceptions import SimulationError
 from ..plan import WorkerPool
-from .base import Executor
+from .base import Executor, JobFuture
 
 __all__ = ["PoolExecutor"]
 
@@ -15,13 +16,21 @@ class PoolExecutor(Executor):
 
     Accepts either a worker count (``None`` auto-sizes, like
     :class:`~repro.sim.plan.WorkerPool`) or an existing pool to share.
-    The pool is created lazily on the first parallel map and reused
-    until :meth:`close`; pool-infrastructure failures fall back to the
-    serial path without changing any result.
+    The pool is created lazily on the first parallel dispatch and
+    reused until :meth:`close`.
+
+    Both surfaces degrade to serial without changing results:
+    :meth:`map` via the pool's own fallback, :meth:`submit` by running
+    the job inline when the pool is unavailable — and a pool that
+    breaks *mid-flight* (a killed worker, a sandbox revoking fork)
+    re-runs the lost jobs inline, which is safe because every job is a
+    pure function of its arguments.
     """
 
     def __init__(self, workers: int | WorkerPool | None = None):
         self.pool = workers if isinstance(workers, WorkerPool) else WorkerPool(workers)
+        #: stdlib future -> JobFuture for jobs genuinely on the pool.
+        self._inflight: dict = {}
 
     @property
     def workers(self) -> int:  # type: ignore[override]
@@ -30,7 +39,51 @@ class PoolExecutor(Executor):
     def map(self, fn: Callable, items: Sequence) -> list:
         return self.pool.map(fn, items)
 
+    def submit(self, fn: Callable, item, tag=None) -> JobFuture:
+        future = JobFuture(fn, item, tag)
+        inner = self.pool.submit(fn, item)
+        if inner is None:  # pool unavailable: permanent serial fallback
+            future._run_inline()
+            self._completed.append(future)
+        else:
+            self._inflight[inner] = future
+        return future
+
+    def next_completed(self) -> JobFuture | None:
+        if self._completed:
+            return self._completed.popleft()
+        if not self._inflight:
+            return None
+        import pickle
+        from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        done, _ = wait(list(self._inflight), return_when=FIRST_COMPLETED)
+        for inner in done:
+            future = self._inflight.pop(inner)
+            try:
+                future._finish(inner.result())
+            except (OSError, pickle.PicklingError, BrokenProcessPool, CancelledError):
+                # Pool infrastructure died (or a broken pool's shutdown
+                # cancelled queued jobs — CancelledError is a
+                # BaseException, so it needs naming here), not the job:
+                # fall back to serial and replay the pure job for the
+                # identical result.
+                self.pool.mark_broken()
+                future._run_inline()
+            except Exception as exc:
+                future._fail(exc)
+            self._completed.append(future)
+        if not self._completed:  # pragma: no cover - wait() contract
+            raise SimulationError("process pool wait returned no completion")
+        return self._completed.popleft()
+
     def close(self) -> None:
+        # Drop unconsumed bookkeeping along with the pool: a round
+        # aborted by a job exception must not leave stale completions
+        # whose tags would collide with the next round's.
+        self._inflight.clear()
+        self._completed.clear()
         self.pool.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,59 +1,179 @@
-"""Sharded executor: deterministic key partition for multi-machine sweeps.
+"""Sharded executor: static or work-stealing key partition for sweeps.
 
-A sharded run computes only the planned points whose plan key hashes to
-its ``shard_index`` (see :func:`repro.sim.executors.base.shard_of`) and
-leaves the rest unresolved.  Pointing the pipeline's result cache at a
+A sharded run computes only a slice of the planned points and leaves
+the rest unresolved.  Pointing the pipeline's result cache at a
 per-shard directory turns each shard run into a content-addressed
 ``.npz`` drop; :func:`merge_shard_dirs` (the ``repro-experiments
 merge`` command) fuses the shard directories into one cache, after
 which an unsharded run over the same spec is served entirely from cache
 — bit-identical to computing everything on one machine, because every
 job, seed and reduction is a pure function of the plan key.
+
+Two partitioning modes:
+
+* ``static`` — the historical coordination-free partition: shard ``i``
+  owns exactly the keys with ``shard_of(key, N) == i``.  No shared
+  state, but a slow or dead shard leaves its slice uncomputed while the
+  others sit idle.
+* ``stealing`` — shards share a :class:`ClaimBoard` (a directory of
+  atomically-created claim markers, e.g. on a shared filesystem) and
+  claim keys exclusively in :func:`claim_order`: their own static
+  partition first, then the other shards' keys in ring order.  An idle
+  shard therefore drains whatever work is left, wherever it "belongs";
+  every key is still computed by exactly one shard, so the merged
+  result is identical to the static partition's.
 """
 
 from __future__ import annotations
 
 import filecmp
+import os
 import shutil
 from pathlib import Path
 from typing import Callable, Sequence
 
 from ...exceptions import SimulationError
-from .base import Executor, shard_of
+from .base import Executor, JobFuture, shard_of
 from .serial import SerialExecutor
 
-__all__ = ["ShardedExecutor", "merge_shard_dirs"]
+__all__ = ["ShardedExecutor", "ClaimBoard", "claim_order", "merge_shard_dirs"]
+
+#: Valid ``ShardedExecutor`` partitioning modes.
+SHARD_MODES = ("static", "stealing")
+
+
+def claim_order(keys: Sequence[str], shard_index: int, shard_count: int) -> list[str]:
+    """Deterministic order in which a stealing shard tries to claim keys.
+
+    The shard's own static partition comes first (so under no
+    contention the stealing mode degenerates to the static one), then
+    foreign keys grouped by owning shard in ring order starting from
+    the next shard — concurrent stealers fan out over *different*
+    victims instead of colliding on the same keys.  Keys sort
+    lexicographically within each group, so the order is a pure
+    function of ``(keys, shard_index, shard_count)``.
+    """
+
+    def rank(key: str) -> tuple[int, str]:
+        owner = shard_of(key, shard_count)
+        return ((owner - shard_index) % shard_count, key)
+
+    return sorted(keys, key=rank)
+
+
+class ClaimBoard:
+    """Filesystem claim registry: at most one shard computes each key.
+
+    One marker file per claimed key, recording the claiming owner so
+    re-claims by the same owner are idempotent (a restarted shard
+    keeps its claims).  The marker is published with the classic
+    lockfile pattern — write a private temp file, then ``os.link`` it
+    to the claim name — so it appears *atomically with its owner
+    already inside*: the first claimer wins even across machines, and
+    a shard dying mid-claim can never leave a torn owner-less marker
+    that would orphan the key for everyone.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.claim"
+
+    def try_claim(self, key: str, owner: str) -> bool:
+        """Atomically claim ``key`` for ``owner`` (idempotent per owner)."""
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(owner)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return self.owner_of(key) == owner
+        finally:
+            tmp.unlink(missing_ok=True)
+        return True
+
+    def owner_of(self, key: str) -> str | None:
+        """The owner that claimed ``key``, or ``None`` if unclaimed."""
+        try:
+            return self._path(key).read_text()
+        except OSError:
+            return None
+
+    def claimed(self) -> dict[str, str]:
+        """Every claimed key with its owner (introspection/tests)."""
+        out = {}
+        for path in self.directory.glob("*.claim"):
+            out[path.name[: -len(".claim")]] = path.read_text()
+        return out
 
 
 class ShardedExecutor(Executor):
-    """Own the deterministic ``shard_index``-th slice of the planned keys.
+    """Compute one shard's slice of the planned keys.
 
-    Wraps an inner executor (serial or pooled) that runs the owned
+    Wraps an inner executor (serial or pooled) that runs the claimed
     jobs; foreign points are skipped entirely — their chunk jobs are
     never expanded, so a shard's wall-clock scales with its share of
-    the sweep.
+    the sweep.  ``mode="stealing"`` replaces the static ``shard_of``
+    partition with exclusive claims on a shared :class:`ClaimBoard`
+    (``claim_dir``), letting idle shards take over unclaimed keys.
     """
 
-    def __init__(self, shard_index: int, shard_count: int, inner: Executor | None = None):
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        inner: Executor | None = None,
+        mode: str = "static",
+        claim_dir: str | Path | None = None,
+    ):
         if shard_count < 1:
             raise SimulationError("shard_count must be >= 1")
         if not 0 <= shard_index < shard_count:
             raise SimulationError(
                 f"shard_index {shard_index} outside [0, {shard_count})"
             )
+        if mode not in SHARD_MODES:
+            raise SimulationError(
+                f"unknown shard mode {mode!r} (expected one of {SHARD_MODES})"
+            )
+        if mode == "stealing" and claim_dir is None:
+            raise SimulationError(
+                "work-stealing shards need a shared claim_dir (the claim board)"
+            )
         self.shard_index = int(shard_index)
         self.shard_count = int(shard_count)
         self.inner = inner if inner is not None else SerialExecutor()
+        self.mode = mode
+        self.board = ClaimBoard(claim_dir) if mode == "stealing" else None
+        self.owner_id = f"shard-{self.shard_index}"
 
     @property
     def workers(self) -> int:  # type: ignore[override]
         return self.inner.workers
 
     def owns(self, key: str) -> bool:
-        return shard_of(key, self.shard_count) == self.shard_index
+        if self.mode == "static":
+            return shard_of(key, self.shard_count) == self.shard_index
+        # Stealing: claim-on-query (single-key callers, e.g. generic
+        # call jobs); batch rounds go through claim() for steal order.
+        return self.board.try_claim(key, self.owner_id)
+
+    def claim(self, keys: Sequence[str]) -> list[str]:
+        if self.mode == "static":
+            return [key for key in keys if self.owns(key)]
+        ordered = claim_order(keys, self.shard_index, self.shard_count)
+        return [key for key in ordered if self.board.try_claim(key, self.owner_id)]
 
     def map(self, fn: Callable, items: Sequence) -> list:
         return self.inner.map(fn, items)
+
+    def submit(self, fn: Callable, item, tag=None) -> JobFuture:
+        return self.inner.submit(fn, item, tag=tag)
+
+    def next_completed(self) -> JobFuture | None:
+        return self.inner.next_completed()
 
     def close(self) -> None:
         self.inner.close()
@@ -61,7 +181,7 @@ class ShardedExecutor(Executor):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedExecutor({self.shard_index}/{self.shard_count}, "
-            f"inner={self.inner!r})"
+            f"mode={self.mode!r}, inner={self.inner!r})"
         )
 
 

@@ -77,6 +77,8 @@ __all__ = [
     "merge_request_results",
     "run_job",
     "serve_or_expand",
+    "PointJobs",
+    "claim_serve_expand",
     "merge_spans",
     "execute_plan",
     "simulate_requests",
@@ -399,31 +401,70 @@ class WorkerPool:
         """Whether dispatches may actually use worker processes."""
         return self.workers > 1 and not self._broken
 
+    def _ensure_pool(self):
+        """The live process pool, or ``None`` (pool impossible here)."""
+        if not self.parallel:
+            return None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+        except ImportError:  # pragma: no cover - exotic stdlib builds
+            self._broken = True
+            return None
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+        except OSError:  # pragma: no cover - depends on host sandboxing
+            self.mark_broken()
+            return None
+
     def map(self, fn: Callable, items: Sequence) -> list:
         """Order-preserving map over the pool (serial when unavailable)."""
         items = list(items)
         if self.parallel and len(items) > 1:
-            try:
-                import pickle
-                from concurrent.futures import ProcessPoolExecutor
-                from concurrent.futures.process import BrokenProcessPool
-            except ImportError:  # pragma: no cover - exotic stdlib builds
-                self._broken = True
-            else:
+            import pickle
+            from concurrent.futures.process import BrokenProcessPool
+
+            pool = self._ensure_pool()
+            if pool is not None:
                 try:
-                    if self._pool is None:
-                        self._pool = ProcessPoolExecutor(max_workers=self.workers)
                     chunksize = max(1, len(items) // (self.workers * 4))
-                    return list(self._pool.map(fn, items, chunksize=chunksize))
+                    return list(pool.map(fn, items, chunksize=chunksize))
                 except (OSError, pickle.PicklingError, BrokenProcessPool):
                     # pragma: no cover - depends on host sandboxing
-                    self._broken = True
-                    self.close()
+                    self.mark_broken()
         return [fn(item) for item in items]
+
+    def submit(self, fn: Callable, item):
+        """Schedule one job on the pool; ``None`` when unavailable.
+
+        A ``None`` return tells the caller to run the job inline (the
+        permanent serial fallback, mirroring :meth:`map`).  Submission
+        failures mark the pool broken exactly like map failures.
+        """
+        import pickle
+
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        try:
+            return pool.submit(fn, item)
+        except (OSError, pickle.PicklingError, RuntimeError):
+            # pragma: no cover - depends on host sandboxing
+            self.mark_broken()
+            return None
+
+    def mark_broken(self) -> None:
+        """Permanently fall back to serial dispatch (infra failure)."""
+        self._broken = True
+        self.close()
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            # cancel_futures: a job exception aborts the dispatch loop
+            # mid-run, and queued-but-unstarted jobs must not keep the
+            # worker processes alive after the executor is closed.
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "WorkerPool":
@@ -465,6 +506,14 @@ class ResultCache:
                 return {name: data[name][()] for name in data.files}
         except Exception:
             return None  # corrupt or foreign file: treat as a miss
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (no hit/miss accounting).
+
+        A cheap existence probe for dry-run previews; the entry may
+        still read as a miss later if it turns out corrupt.
+        """
+        return self._path(key).exists()
 
     def _store(self, key: str, **fields) -> None:
         path = self._path(key)
@@ -644,6 +693,76 @@ def serve_or_expand(
         spans.append((i, len(jobs), len(jobs) + len(expanded)))
         jobs.extend(expanded)
     return estimates, jobs, spans
+
+
+@dataclass
+class PointJobs:
+    """In-flight bookkeeping of one unique request's chunk jobs.
+
+    The event-driven scheduler completes jobs out of order; each
+    completion is delivered into its part slot, and the point merges
+    (in part order, never completion order — that is what keeps the
+    reduction bit-identical) once the last part lands.
+    """
+
+    index: int
+    parts: list
+    remaining: int
+
+    def deliver(self, part: int, result) -> bool:
+        """Store one part result; ``True`` when the point is complete."""
+        self.parts[part] = result
+        self.remaining -= 1
+        return self.remaining == 0
+
+
+def claim_serve_expand(
+    plan: SimulationPlan,
+    cache: ResultCache | None = None,
+    memo: dict | None = None,
+    executor=None,
+) -> tuple[list, list[tuple], dict[int, "PointJobs"]]:
+    """Cache-serve short-circuit, batch claim, and tagged expansion.
+
+    The event-driven counterpart of :func:`serve_or_expand`: memo and
+    disk hits are served immediately (they never touch the scheduler),
+    the keys still needing compute are offered to the executor's
+    :meth:`~repro.sim.executors.Executor.claim` in **one batch** (so a
+    work-stealing shard sees the whole round and applies its claim
+    order), and each claimed point expands into ``(job, (index, part))``
+    tagged jobs in :meth:`SimulationPlan.dispatch_order`.
+
+    Returns ``(estimates, tagged_jobs, books)``: per-unique-request
+    estimates (``None`` where jobs must run or the point is unclaimed),
+    the tagged job list, and a :class:`PointJobs` book per expanded
+    unique index (a point with no book and no estimate was unclaimed).
+    """
+    estimates: list[OverheadEstimate | None] = [None] * plan.n_unique
+    needing: list[int] = []
+    for i in plan.dispatch_order():
+        key = plan.keys[i]
+        if memo is not None and key in memo:
+            estimates[i] = memo[key]
+            continue
+        if cache is not None:
+            hit = cache.get_estimate(key)
+            if hit is not None:
+                estimates[i] = hit
+                if memo is not None:
+                    memo[key] = hit
+                continue
+        needing.append(i)
+    if executor is not None:
+        claimed = set(executor.claim([plan.keys[i] for i in needing]))
+        needing = [i for i in needing if plan.keys[i] in claimed]
+    tagged: list[tuple] = []
+    books: dict[int, PointJobs] = {}
+    for i in needing:
+        expanded = request_jobs(plan.requests[i], plan.methods[i])
+        books[i] = PointJobs(index=i, parts=[None] * len(expanded), remaining=len(expanded))
+        for part, job in enumerate(expanded):
+            tagged.append((job, (i, part)))
+    return estimates, tagged, books
 
 
 def merge_spans(

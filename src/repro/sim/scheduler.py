@@ -1,0 +1,108 @@
+"""Event-driven job scheduling: one global in-flight window.
+
+The wave-barriered pipeline resolved one study at a time: every chunk
+job of a study had to finish before the next study's jobs could start,
+so a single slow chunk stalled every figure behind it.  This module
+replaces the barrier with a :class:`Scheduler` that treats *all*
+queued jobs — across every study of an invocation — as one stream:
+
+* jobs join the queue in plan dispatch order (slowest backend first,
+  exactly the order the blocking path used);
+* the scheduler keeps at most ``max_inflight`` jobs outstanding on the
+  executor's :meth:`~repro.sim.executors.base.Executor.submit` /
+  :meth:`~repro.sim.executors.base.Executor.next_completed` surface,
+  refilling a slot the moment any completion lands;
+* completions are yielded as ``(tag, result)`` events in completion
+  order — the caller (:class:`repro.experiments.pipeline.SimulationPipeline`)
+  delivers each into its per-point bookkeeping and resolves the
+  point's deferred value the moment its last chunk arrives.
+
+Determinism: the sampled numbers are pure functions of the job
+arguments, and per-point merging happens in part order (never
+completion order), so the window size, the executor and the completion
+interleaving change wall-clock only.  With a serial executor every
+submit resolves inline and the event stream degenerates to exact
+submission order — ``max_inflight=1`` on any executor does the same.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from ..exceptions import SimulationError
+from .plan import run_job
+
+__all__ = ["Scheduler", "default_inflight", "DEFAULT_WINDOW_FACTOR"]
+
+#: Default in-flight window per pool worker: deep enough to hide the
+#: submit/collect round-trip, shallow enough that a cancelled run
+#: abandons little queued work.
+DEFAULT_WINDOW_FACTOR = 4
+
+
+def default_inflight(workers: int) -> int:
+    """The in-flight window implied by an executor's worker count."""
+    return max(1, DEFAULT_WINDOW_FACTOR * int(workers))
+
+
+class Scheduler:
+    """Windowed submit / as_completed dispatch over one executor.
+
+    Jobs are ``(fn, args, kwargs)`` tuples (the
+    :func:`repro.sim.plan.run_job` shape) queued via :meth:`add` with
+    an opaque tag; :meth:`events` drives the dispatch loop and yields
+    ``(tag, result)`` per completion.  The scheduler owns no processes
+    — lifecycle stays with the executor — and is reusable: new jobs
+    may be added between (not during) :meth:`events` drains.
+    """
+
+    def __init__(self, executor, max_inflight: int | None = None):
+        if max_inflight is None:
+            max_inflight = default_inflight(executor.workers)
+        if int(max_inflight) < 1:
+            raise SimulationError("max_inflight must be >= 1")
+        self.executor = executor
+        self.max_inflight = int(max_inflight)
+        self._queue: deque = deque()
+        self._outstanding = 0
+
+    @property
+    def pending(self) -> int:
+        """Queued-but-unsubmitted jobs."""
+        return len(self._queue)
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted jobs whose completion has not been consumed yet."""
+        return self._outstanding
+
+    def add(self, job: tuple, tag=None) -> None:
+        """Queue one ``(fn, args, kwargs)`` job for dispatch."""
+        self._queue.append((job, tag))
+
+    def events(self) -> Iterator[tuple]:
+        """Submit with a bounded window; yield ``(tag, result)`` events.
+
+        A job exception propagates out of the iteration (the in-flight
+        window is abandoned); the caller is responsible for closing the
+        executor, which cancels whatever was still queued on the pool.
+        """
+        while self._queue or self._outstanding:
+            while self._queue and self._outstanding < self.max_inflight:
+                job, tag = self._queue.popleft()
+                self.executor.submit(run_job, job, tag=tag)
+                self._outstanding += 1
+            future = self.executor.next_completed()
+            if future is None:  # pragma: no cover - executor contract
+                raise SimulationError(
+                    f"executor lost track of {self._outstanding} in-flight jobs"
+                )
+            self._outstanding -= 1
+            yield future.tag, future.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Scheduler(max_inflight={self.max_inflight}, "
+            f"pending={self.pending}, outstanding={self.outstanding})"
+        )

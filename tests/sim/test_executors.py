@@ -8,6 +8,7 @@ import pytest
 from repro.exceptions import SimulationError
 from repro.platforms.scenarios import build_model
 from repro.sim.executors import (
+    JobFuture,
     PoolExecutor,
     SerialExecutor,
     ShardedExecutor,
@@ -205,3 +206,152 @@ class TestNumericalStability:
         assert np.array_equal(
             [e.mean for e in serial], [e.mean for e in pooled]
         )
+
+
+def _crash(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestSubmitProtocol:
+    """The async submit/next_completed/as_completed surface."""
+
+    def test_serial_submit_resolves_inline_in_order(self):
+        ex = SerialExecutor()
+        futures = [ex.submit(_double, i, tag=i) for i in range(4)]
+        assert all(f.done for f in futures)
+        drained = list(ex.as_completed())
+        assert [f.tag for f in drained] == [0, 1, 2, 3]
+        assert [f.result() for f in drained] == [0, 2, 4, 6]
+
+    def test_next_completed_idle_returns_none(self):
+        assert SerialExecutor().next_completed() is None
+
+    def test_pool_submit_round_trips(self):
+        with PoolExecutor(2) as ex:
+            futures = [ex.submit(_double, i, tag=i) for i in range(5)]
+            results = {f.tag: f.result() for f in ex.as_completed()}
+        assert results == {i: 2 * i for i in range(5)}
+        assert {f.tag for f in futures} == set(range(5))
+
+    def test_pool_serial_fallback_submit(self):
+        """workers=1: the pool is never used, jobs resolve inline."""
+        with PoolExecutor(1) as ex:
+            future = ex.submit(_double, 21, tag="t")
+            assert future.done and future.result() == 42
+
+    def test_sharded_delegates_submit_to_inner(self):
+        with ShardedExecutor(0, 2, inner=SerialExecutor()) as ex:
+            future = ex.submit(_double, 5)
+            assert future.done
+            assert ex.next_completed() is future
+
+    def test_job_exception_raises_at_result(self):
+        ex = SerialExecutor()
+        future = ex.submit(_crash, 7, tag="bad")
+        assert future.done
+        with pytest.raises(RuntimeError, match="boom 7"):
+            future.result()
+
+    def test_pool_job_exception_raises_at_result(self):
+        with PoolExecutor(2) as ex:
+            ex.submit(_crash, 3)
+            future = ex.next_completed()
+            with pytest.raises(RuntimeError, match="boom 3"):
+                future.result()
+
+    def test_unfinished_future_read_refuses(self):
+        from repro.sim.executors import JobFuture
+
+        with pytest.raises(SimulationError):
+            JobFuture(_double, 1).result()
+
+    def test_default_claim_filters_by_owns(self):
+        keys = [request_key(r) for r in fig_requests(10)]
+        assert SerialExecutor().claim(keys) == keys
+        sharded = ShardedExecutor(0, 2)
+        assert sharded.claim(keys) == [k for k in keys if shard_of(k, 2) == 0]
+
+
+class TestLifecycleUnderFailure:
+    """A failing job must never leak pool processes (satellite: __exit__)."""
+
+    def test_pipeline_failure_closes_shared_pool(self):
+        """A job exception mid-run shuts the WorkerPool down."""
+        from repro.experiments.pipeline import SimulationPipeline
+
+        with SimulationPipeline(jobs=2) as pipe:
+            pipe.call(_crash, 1)
+            pipe.call(_double, 2)  # queued behind the failure
+            with pytest.raises(RuntimeError, match="boom 1"):
+                pipe.resolve()
+            # resolve() closed the executor on the way out: no live
+            # process pool survives the exception.
+            assert pipe.executor.pool._pool is None
+
+    def test_serial_exit_is_idempotent(self):
+        ex = SerialExecutor()
+        with ex:
+            pass
+        ex.close()  # double close is fine
+
+    def test_pool_exit_shuts_down_even_with_inflight(self):
+        ex = PoolExecutor(2)
+        with ex:
+            ex.submit(_double, 1)  # completion never consumed
+        assert ex.pool._pool is None
+        assert ex._inflight == {}
+        ex.close()  # idempotent
+
+    def test_pool_exit_propagates_body_exception_and_closes(self):
+        ex = PoolExecutor(2)
+        with pytest.raises(RuntimeError):
+            with ex:
+                ex.map(_double, [1, 2])
+                raise RuntimeError("body failed")
+        assert ex.pool._pool is None
+
+    def test_sharded_exit_closes_inner(self):
+        inner = PoolExecutor(2)
+        with ShardedExecutor(0, 2, inner=inner) as ex:
+            ex.map(_double, [1, 2])
+        assert inner.pool._pool is None
+
+    def test_cancelled_inner_future_replays_inline(self):
+        """A broken pool's cancelled jobs re-run inline, not crash."""
+        from concurrent.futures import Future
+
+        ex = PoolExecutor(2)
+        inner: Future = Future()
+        ex._inflight[inner] = JobFuture(_double, 4, tag="t")
+        inner.cancel()
+        # What shutdown(cancel_futures=True) does to queued futures:
+        inner.set_running_or_notify_cancel()
+        future = ex.next_completed()
+        assert future.result() == 8  # replayed inline, same pure result
+        ex.close()
+
+    def test_pipeline_reusable_after_job_failure(self):
+        """No stale completions leak into the round after an abort."""
+        from repro.experiments.pipeline import SimulationPipeline
+
+        with SimulationPipeline(jobs=1) as pipe:
+            # Serial executor: all three jobs complete inline at submit
+            # time; the first yielded result raises, stranding the two
+            # _double completions unconsumed inside the executor.
+            pipe.call(_crash, 1)
+            pipe.call(_double, 2)
+            pipe.call(_double, 3)
+            with pytest.raises(RuntimeError, match="boom 1"):
+                pipe.resolve()
+            deferred = pipe.call(_double, 21)
+            pipe.resolve()
+            assert deferred.value == 42
+
+    def test_worker_pool_close_cancels_queued_futures(self):
+        pool = WorkerPool(2)
+        futures = [pool.submit(_double, i) for i in range(64)]
+        assert all(f is not None for f in futures)
+        pool.close()  # must not hang, must not leak
+        assert pool._pool is None
+        for f in futures:
+            assert f.cancelled() or f.done()

@@ -1,0 +1,279 @@
+"""Event-driven scheduler: windowing, interleaving determinism, claims.
+
+The scheduler's contract: out-of-order future completion, the in-flight
+window size, and the executor behind it change wall-clock only — the
+tables that come out of the pipeline are byte-identical to the serial
+path, because per-point merging happens in chunk order and every job is
+a pure function of its arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.experiments.common import SimSettings
+from repro.experiments.pipeline import SimulationPipeline
+from repro.platforms.scenarios import build_model
+from repro.sim.executors import (
+    ClaimBoard,
+    Executor,
+    JobFuture,
+    SerialExecutor,
+    ShardedExecutor,
+    claim_order,
+    shard_of,
+)
+from repro.sim.montecarlo import Fidelity
+from repro.sim.plan import SimRequest, plan_simulations, request_key
+from repro.sim.scheduler import Scheduler, default_inflight
+
+SETTINGS = SimSettings(fidelity=Fidelity(n_runs=6, n_patterns=10), seed=7)
+
+
+def _job(value):
+    return (_identity, (value,), {})
+
+
+def _identity(value):
+    return value
+
+
+def _boom(value):
+    raise ValueError(f"job {value} failed")
+
+
+class RecordingExecutor(Executor):
+    """Inline executor recording submission order and peak window."""
+
+    def __init__(self):
+        self.submitted = []
+        self.completed = []
+        self.outstanding = 0
+        self.peak_outstanding = 0
+
+    def submit(self, fn, item, tag=None):
+        self.submitted.append(tag)
+        self.outstanding += 1
+        self.peak_outstanding = max(self.peak_outstanding, self.outstanding)
+        return super().submit(fn, item, tag=tag)
+
+    def next_completed(self):
+        future = super().next_completed()
+        if future is not None:
+            self.outstanding -= 1
+            self.completed.append(future.tag)
+        return future
+
+
+class ShuffledExecutor(Executor):
+    """Defers execution and completes futures in seeded random order.
+
+    A worst-case stand-in for a process pool: nothing completes in
+    submission order, so any hidden completion-order dependence in the
+    pipeline's bookkeeping would corrupt the merged results.
+    """
+
+    def __init__(self, seed=0):
+        self._rng = np.random.default_rng(seed)
+        self._waiting: list[JobFuture] = []
+
+    def submit(self, fn, item, tag=None):
+        future = JobFuture(fn, item, tag)
+        self._waiting.append(future)
+        return future
+
+    def next_completed(self):
+        if not self._waiting:
+            return None
+        index = int(self._rng.integers(len(self._waiting)))
+        future = self._waiting.pop(index)
+        future._run_inline()
+        return future
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class TestSchedulerLoop:
+    def test_yields_every_job_with_its_tag(self):
+        scheduler = Scheduler(SerialExecutor(), max_inflight=3)
+        for i in range(7):
+            scheduler.add(_job(i * 10), tag=i)
+        events = list(scheduler.events())
+        assert sorted(events) == [(i, i * 10) for i in range(7)]
+
+    def test_serial_executor_completes_in_submission_order(self):
+        scheduler = Scheduler(SerialExecutor(), max_inflight=5)
+        for i in range(6):
+            scheduler.add(_job(i), tag=i)
+        assert [tag for tag, _ in scheduler.events()] == list(range(6))
+
+    def test_window_is_respected(self):
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor, max_inflight=2)
+        for i in range(8):
+            scheduler.add(_job(i), tag=i)
+        list(scheduler.events())
+        assert executor.peak_outstanding <= 2
+
+    def test_max_inflight_1_degenerates_to_serial(self):
+        """Window 1: strict submit-complete alternation in queue order."""
+        executor = RecordingExecutor()
+        scheduler = Scheduler(executor, max_inflight=1)
+        for i in range(5):
+            scheduler.add(_job(i), tag=i)
+        events = [tag for tag, _ in scheduler.events()]
+        assert events == list(range(5))
+        assert executor.peak_outstanding == 1
+        assert executor.submitted == executor.completed == list(range(5))
+
+    def test_default_window_scales_with_workers(self):
+        assert Scheduler(SerialExecutor()).max_inflight == default_inflight(1)
+        assert default_inflight(4) == 16
+        assert default_inflight(0) == 1
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(SimulationError):
+            Scheduler(SerialExecutor(), max_inflight=0)
+
+    def test_job_exception_propagates(self):
+        scheduler = Scheduler(SerialExecutor(), max_inflight=2)
+        scheduler.add((_boom, (1,), {}), tag="bad")
+        with pytest.raises(ValueError, match="job 1 failed"):
+            list(scheduler.events())
+
+    def test_reusable_between_drains(self):
+        scheduler = Scheduler(SerialExecutor(), max_inflight=2)
+        scheduler.add(_job(1), tag="a")
+        assert list(scheduler.events()) == [("a", 1)]
+        scheduler.add(_job(2), tag="b")
+        assert list(scheduler.events()) == [("b", 2)]
+        assert scheduler.pending == 0 and scheduler.outstanding == 0
+
+
+class TestInterleavingDeterminism:
+    """Out-of-order completion must not change a single byte."""
+
+    def _tables(self, executor=None, max_inflight=None):
+        from repro.experiments.registry import REGISTRY
+        from repro.experiments.spec import stage_study
+
+        with SimulationPipeline(executor=executor, max_inflight=max_inflight) as pipe:
+            staged = stage_study(REGISTRY["fig2"], settings=SETTINGS, pipeline=pipe)
+            pipe.resolve()
+            return [r.table() for r in staged.finish()]
+
+    def test_shuffled_completion_is_bit_identical(self):
+        reference = self._tables()
+        for seed in (1, 2, 3):
+            assert self._tables(ShuffledExecutor(seed), max_inflight=4) == reference
+
+    def test_window_size_never_changes_tables(self):
+        reference = self._tables()
+        for window in (1, 2, 16):
+            assert self._tables(max_inflight=window) == reference
+
+    def test_shuffled_pipeline_points_match_serial(self):
+        model = build_model("Hera", 1)
+        points = [(model, 4000.0 + 100 * i, 256.0) for i in range(6)]
+        with SimulationPipeline() as pipe:
+            serial = [pipe.simulate_mean(m, T, P, SETTINGS) for m, T, P in points]
+            pipe.resolve()
+        with SimulationPipeline(executor=ShuffledExecutor(9), max_inflight=2) as pipe:
+            shuffled = [pipe.simulate_mean(m, T, P, SETTINGS) for m, T, P in points]
+            pipe.resolve()
+        assert [d.value for d in shuffled] == [d.value for d in serial]
+
+
+class TestClaimOrder:
+    def _keys(self, n=24):
+        model = build_model("Hera", 1)
+        return [
+            request_key(
+                SimRequest(model=model, T=3000.0 + i, P=500.0, n_runs=3, n_patterns=4)
+            )
+            for i in range(n)
+        ]
+
+    def test_own_partition_comes_first(self):
+        keys = self._keys()
+        for index in (0, 1, 2):
+            ordered = claim_order(keys, index, 3)
+            owners = [shard_of(k, 3) for k in ordered]
+            ring = [(o - index) % 3 for o in owners]
+            assert ring == sorted(ring), "claim order must walk the ring outward"
+            own = [k for k in keys if shard_of(k, 3) == index]
+            assert ordered[: len(own)] == sorted(own)
+
+    def test_deterministic_and_permutation_invariant(self):
+        keys = self._keys()
+        ordered = claim_order(keys, 1, 3)
+        assert claim_order(list(reversed(keys)), 1, 3) == ordered
+
+    def test_stealing_claims_are_exclusive(self, tmp_path):
+        keys = self._keys()
+        a = ShardedExecutor(0, 2, mode="stealing", claim_dir=tmp_path)
+        b = ShardedExecutor(1, 2, mode="stealing", claim_dir=tmp_path)
+        # Interleave claim rounds: each key lands on exactly one shard.
+        half = len(keys) // 2
+        got_a = a.claim(keys[:half])
+        got_b = b.claim(keys)
+        got_a += a.claim(keys[half:])
+        assert sorted(got_a + got_b) == sorted(keys)
+        assert not set(got_a) & set(got_b)
+
+    def test_idle_shard_steals_everything(self, tmp_path):
+        keys = self._keys()
+        only = ShardedExecutor(0, 2, mode="stealing", claim_dir=tmp_path)
+        assert sorted(only.claim(keys)) == sorted(keys)
+        late = ShardedExecutor(1, 2, mode="stealing", claim_dir=tmp_path)
+        assert late.claim(keys) == []
+
+    def test_reclaim_by_same_owner_is_idempotent(self, tmp_path):
+        board = ClaimBoard(tmp_path)
+        assert board.try_claim("k1", "shard-0")
+        assert board.try_claim("k1", "shard-0")  # restarted shard keeps it
+        assert not board.try_claim("k1", "shard-1")
+        assert board.owner_of("k1") == "shard-0"
+        assert board.owner_of("nope") is None
+        assert board.claimed() == {"k1": "shard-0"}
+
+    def test_stealing_requires_claim_dir(self):
+        with pytest.raises(SimulationError):
+            ShardedExecutor(0, 2, mode="stealing")
+        with pytest.raises(SimulationError):
+            ShardedExecutor(0, 2, mode="bogus")
+
+
+class TestScheduledShardEquivalence:
+    def test_stealing_union_matches_serial(self, tmp_path):
+        """Both stealing shards together cover the plan, bit for bit."""
+        from repro.sim.plan import ResultCache, execute_plan
+        from repro.sim.executors import merge_shard_dirs
+
+        model = build_model("Hera", 1)
+        settings = SimSettings(fidelity=Fidelity(n_runs=3, n_patterns=4))
+        requests = [
+            SimRequest(
+                model=model, T=3600.0 + i, P=800.0, n_runs=3, n_patterns=4,
+                seed=settings.seed,
+            )
+            for i in range(8)
+        ]
+        plan = plan_simulations(requests)
+        serial = execute_plan(plan)
+        for index in (0, 1):
+            executor = ShardedExecutor(
+                index, 2, mode="stealing", claim_dir=tmp_path / "claims"
+            )
+            with SimulationPipeline(
+                executor=executor, cache_dir=tmp_path / f"s{index}"
+            ) as pipe:
+                for request in requests:
+                    pipe.simulate_mean(model, request.T, request.P, settings)
+                pipe.resolve()
+        merge_shard_dirs([tmp_path / "s0", tmp_path / "s1"], tmp_path / "merged")
+        merged = execute_plan(plan, cache=ResultCache(tmp_path / "merged"))
+        assert [e.mean for e in merged] == [e.mean for e in serial]
