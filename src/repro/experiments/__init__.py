@@ -17,6 +17,7 @@ from . import (
     fig6_alpha_zero,
     fig7_downtime,
 )
+from . import scenarios
 from .common import FigureResult, SimSettings, simulate_mean
 from .pipeline import Deferred, SimulationPipeline, materialize
 from .registry import REGISTRY, find_spec, get_spec
@@ -58,4 +59,5 @@ __all__ = [
     "ext_weibull",
     "main",
     "print_input_tables",
+    "scenarios",
 ]

@@ -255,14 +255,23 @@ class SimulationPipeline:
         """Planned-work summary per study group, without executing.
 
         For every group (in first-declaration order): declared points,
-        unique new keys, points deduplicated against earlier
-        declarations or the in-memory memo, expected disk-cache hits,
-        points left to compute, and the chunk jobs they expand into.
-        Pure preview — pending points stay pending, and the cache's
+        unique new keys, points deduplicated against compute planned by
+        earlier declarations, points served without compute (in-memory
+        memo or disk cache), points left to compute, and the chunk jobs
+        they expand into.  Every point lands in exactly **one** of
+        ``deduped`` / ``cache_hits`` / ``to_compute`` — a duplicate of
+        a cache-served key counts as a cache hit in *its own* study
+        (that is what resolve will report), never as a second expected
+        disk hit for the study that declared it first, so summing the
+        per-study rows can neither double-report nor drop hits.  Pure
+        preview — pending points stay pending, and the cache's
         hit/miss accounting is untouched.
         """
         report: dict[str, dict[str, int]] = {}
-        seen: set[str] = set()
+        #: First-seen fate per plan key: ``True`` when the point will be
+        #: served without compute (memo/disk), ``False`` when its jobs
+        #: must run this round.
+        served: dict[str, bool] = {}
         for kind, item, _, group in self._pending:
             entry = report.setdefault(
                 group if group is not None else "(ungrouped)",
@@ -281,14 +290,22 @@ class SimulationPipeline:
             else:
                 fn, args, kwargs = item
                 key = call_key(fn, args, kwargs)
-            if key in seen or key in self._memo:
-                entry["deduped"] += 1
+            if key in served:
+                # A later declaration of an already-classified key: it
+                # shares its representative's fate, whichever study
+                # staged that representative.
+                entry["cache_hits" if served[key] else "deduped"] += 1
                 continue
-            seen.add(key)
-            entry["unique"] += 1
-            if self.cache is not None and self.cache.contains(key):
+            if key in self._memo:
+                served[key] = True
                 entry["cache_hits"] += 1
                 continue
+            entry["unique"] += 1
+            if self.cache is not None and self.cache.contains(key):
+                served[key] = True
+                entry["cache_hits"] += 1
+                continue
+            served[key] = False
             entry["to_compute"] += 1
             entry["jobs"] += len(request_jobs(item)) if kind == "request" else 1
         return report

@@ -55,11 +55,13 @@ _FIGURES = RUNNERS
 
 #: Real subcommands that are not figure pipelines; references to them
 #: in EXPERIMENTS.md are legitimate and exempt from the drift check.
-_META_COMMANDS = {"all", "tables", "report", "index", "sweep", "merge", "cache"}
+_META_COMMANDS = {
+    "all", "tables", "report", "index", "sweep", "merge", "cache", "scenario",
+}
 
 #: Meta commands EXPERIMENTS.md is required to document (the figure
 #: commands are always required; ``index`` documents itself).
-_DOCUMENTED_META = ("all", "tables", "sweep", "merge", "cache")
+_DOCUMENTED_META = ("all", "tables", "sweep", "merge", "cache", "scenario")
 
 
 def print_input_tables(stream=None) -> None:
@@ -247,7 +249,7 @@ def _progress_printer(staged: Sequence, stream=None) -> Callable:
     stream = stream if stream is not None else sys.stderr
     totals: dict[str, int] = defaultdict(int)
     for stage in staged:
-        totals[stage.ctx.spec.name] += stage.n_pending
+        totals[stage.group] += stage.n_pending
     tallies: dict[str, Counter] = defaultdict(Counter)
 
     def on_event(event) -> None:
@@ -288,17 +290,12 @@ def _print_dry_run(pipeline: SimulationPipeline, stream=None) -> None:
     )
 
 
-def _add_common_options(
-    sub: argparse.ArgumentParser, platform_default: str | None = "Hera"
+def _add_sim_options(
+    sub: argparse.ArgumentParser,
+    seed_default: int | None = DEFAULT_SEED,
+    seed_help: str = "master RNG seed",
 ) -> None:
-    sub.add_argument(
-        "--platform",
-        default=platform_default,
-        choices=list(PLATFORM_NAMES),
-        help="platform from Table II (default Hera)"
-        if platform_default
-        else "platform from Table II (default: the spec's own platform grid)",
-    )
+    """The simulation/pipeline flags every sim command shares."""
     sub.add_argument("--no-sim", action="store_true", help="skip Monte-Carlo columns")
     sub.add_argument(
         "--paper",
@@ -309,7 +306,7 @@ def _add_common_options(
     sub.add_argument(
         "--patterns", type=int, default=None, help="override patterns per run"
     )
-    sub.add_argument("--seed", type=int, default=DEFAULT_SEED, help="master RNG seed")
+    sub.add_argument("--seed", type=int, default=seed_default, help=seed_help)
     sub.add_argument(
         "--method",
         default="auto",
@@ -362,6 +359,20 @@ def _add_common_options(
         action="store_true",
         help="bypass the result cache even when --cache-dir is set",
     )
+
+
+def _add_common_options(
+    sub: argparse.ArgumentParser, platform_default: str | None = "Hera"
+) -> None:
+    sub.add_argument(
+        "--platform",
+        default=platform_default,
+        choices=list(PLATFORM_NAMES),
+        help="platform from Table II (default Hera)"
+        if platform_default
+        else "platform from Table II (default: the spec's own platform grid)",
+    )
+    _add_sim_options(sub)
     sub.add_argument(
         "--shard-index",
         type=int,
@@ -399,6 +410,17 @@ def _add_common_options(
         "(a filesystem all shards can reach)",
     )
     sub.add_argument("--csv", default=None, metavar="DIR", help="also dump CSV files")
+
+
+def _add_scenario_sim_options(sub: argparse.ArgumentParser) -> None:
+    """Simulation/pipeline flags of `scenario run|report` (no platform or
+    shard flags: the scenario file owns the platform grid, and a family
+    aggregates only when every member resolves on this machine)."""
+    _add_sim_options(
+        sub,
+        seed_default=None,
+        seed_help="override the scenario file's master seed",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -490,6 +512,57 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="report what would be removed without deleting",
             )
+            c.add_argument(
+                "--yes",
+                action="store_true",
+                help="delete without the interactive confirmation (required "
+                "when stdin is not a terminal; caches may be shared across "
+                "scenario runs and shards)",
+            )
+
+    sub_scen = subparsers.add_parser(
+        "scenario",
+        help="resampled/perturbed study families: derive variants of a "
+        "registered study, run them as one fused round, aggregate "
+        "replicate bands (generate | run | aggregate | report)",
+    )
+    scen_sub = sub_scen.add_subparsers(dest="scenario_command", required=True)
+    scen_gen = scen_sub.add_parser(
+        "generate", help="print the derived member manifest of a scenario TOML"
+    )
+    scen_gen.add_argument("file", metavar="SCENARIO_TOML")
+    scen_gen.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario file's master seed",
+    )
+    scen_run = scen_sub.add_parser(
+        "run",
+        help="run every derived member through one shared pipeline; write "
+        "per-member tables as JSON for later aggregation",
+    )
+    scen_run.add_argument("file", metavar="SCENARIO_TOML")
+    scen_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="result directory (manifest.json + one JSON per member); "
+        "required unless --dry-run",
+    )
+    _add_scenario_sim_options(scen_run)
+    scen_agg = scen_sub.add_parser(
+        "aggregate",
+        help="reduce a `scenario run --out` directory into quantile-band tables",
+    )
+    scen_agg.add_argument("results", metavar="DIR")
+    scen_agg.add_argument("--csv", default=None, metavar="DIR",
+                          help="also dump the band tables as CSV")
+    scen_rep = scen_sub.add_parser(
+        "report",
+        help="run and aggregate in one go, streaming each family's band "
+        "tables the moment its last member resolves",
+    )
+    scen_rep.add_argument("file", metavar="SCENARIO_TOML")
+    scen_rep.add_argument("--csv", default=None, metavar="DIR",
+                          help="also dump the band tables as CSV")
+    _add_scenario_sim_options(scen_rep)
 
     sub_index = subparsers.add_parser(
         "index", help="list every experiment command; --check verifies EXPERIMENTS.md"
@@ -641,14 +714,153 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.max_age_days is None and args.max_size_mb is None:
         print("[prune] nothing to do: pass --max-age-days and/or --max-size-mb")
         return 1
+    # Deletion needs explicit consent (--yes, or an interactive
+    # confirmation), because a cache directory may be shared across
+    # scenario runs, shards and warm CI re-runs.  Only the preview and
+    # prompt paths pay a preview scan; --yes prunes in one pass.
+    if args.dry_run or not args.yes:
+        removed, kept = cache.prune(
+            max_age_days=args.max_age_days,
+            max_size_mb=args.max_size_mb,
+            dry_run=True,
+        )
+        mib = sum(e.size for e in removed) / (1024 * 1024)
+        if args.dry_run:
+            print(
+                f"[prune] would remove {len(removed)} entries ({mib:.2f} MiB), "
+                f"kept {len(kept)}"
+            )
+            return 0
+        if sys.stdin.isatty():
+            reply = input(
+                f"[prune] remove {len(removed)} entries ({mib:.2f} MiB) "
+                f"from {cache.directory}? [y/N] "
+            )
+            if reply.strip().lower() not in ("y", "yes"):
+                print("[prune] aborted (nothing deleted)")
+                return 1
+        else:
+            print(
+                "[prune] refusing to delete without --yes (stdin is not a "
+                "terminal); use --dry-run to preview"
+            )
+            return 1
     removed, kept = cache.prune(
         max_age_days=args.max_age_days,
         max_size_mb=args.max_size_mb,
-        dry_run=args.dry_run,
     )
     mib = sum(e.size for e in removed) / (1024 * 1024)
-    verb = "would remove" if args.dry_run else "removed"
-    print(f"[prune] {verb} {len(removed)} entries ({mib:.2f} MiB), kept {len(kept)}")
+    print(f"[prune] removed {len(removed)} entries ({mib:.2f} MiB), kept {len(kept)}")
+    return 0
+
+
+def _scenario_manifest_rows(members) -> list[tuple]:
+    rows = []
+    for member in members:
+        perturbs = ", ".join(p.label for p in member.variant.perturbations)
+        rows.append(
+            (
+                member.name,
+                member.platform,
+                member.replicate,
+                member.seed,
+                perturbs if perturbs else "-",
+            )
+        )
+    return rows
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from ..io.bands import BandedEmitter
+    from .scenarios import (
+        aggregate_results,
+        load_member_results,
+        load_scenario_toml,
+        write_member_results,
+    )
+
+    if args.scenario_command == "aggregate":
+        try:
+            manifest, families = load_member_results(args.results)
+            results = aggregate_results(manifest, families)
+        except InvalidParameterError as exc:
+            raise SystemExit(str(exc)) from None
+        emitter = BandedEmitter(csv_dir=args.csv)
+        emitter.emit_results(results)
+        return 0
+
+    try:
+        sset = load_scenario_toml(args.file, seed=args.seed)
+        members = sset.derive()
+    except InvalidParameterError as exc:
+        raise SystemExit(str(exc)) from None
+
+    if args.scenario_command == "generate":
+        print(
+            render_table(
+                ("member", "platform", "replicate", "seed", "perturbations"),
+                _scenario_manifest_rows(members),
+                title=f"Scenario set {sset.name!r} on study {sset.spec.name!r} "
+                f"(master seed {sset.master_seed})",
+            )
+        )
+        for line in sset.provenance()[1:]:
+            print(f"  {line}")
+        return 0
+
+    # run | report: one shared pipeline, one event-driven round.
+    if args.scenario_command == "run" and not args.dry_run and args.out is None:
+        raise SystemExit("scenario run requires --out DIR (or use --dry-run)")
+    settings = _settings_from_args(args)
+    started = time.perf_counter()
+    with _pipeline_from_args(args) as pipeline:
+        try:
+            # Staging builds every member's perturbed models; a jitter
+            # draw can leave the model's domain (e.g. an additive draw
+            # pushing lambda_ind negative) — fail with the message, not
+            # a traceback.
+            families = sset.stage(pipeline, settings, members=members)
+        except InvalidParameterError as exc:
+            raise SystemExit(f"{args.file}: {exc}") from None
+        staged = [stage for family in families for stage in family.staged]
+        if args.dry_run:
+            _print_dry_run(pipeline)
+            return 0
+        if args.progress:
+            # The planned-work preview costs a plan key per point and a
+            # disk probe per unique key, so compute it only when the
+            # dedup-ratio line is actually wanted.
+            totals: Counter = Counter()
+            for entry in pipeline.pending_report().values():
+                totals.update(entry)
+            free = totals["cache_hits"] + totals["deduped"]
+            ratio = free / totals["points"] if totals["points"] else 0.0
+            print(
+                f"[scenario] {len(members)} members, {totals['points']} points: "
+                f"{totals['cache_hits']} cache-served, {totals['deduped']} "
+                f"deduped, {totals['to_compute']} to compute "
+                f"(dedup ratio {ratio:.2%})",
+                file=sys.stderr,
+            )
+        on_event = _progress_printer(staged) if args.progress else None
+        if args.scenario_command == "report":
+            emitter = BandedEmitter(csv_dir=args.csv)
+            _resolve_and_emit(families, pipeline, emitter=emitter, on_event=on_event)
+        else:
+            pipeline.resolve(on_event=on_event)
+            path = write_member_results(args.out, sset, families)
+            print(
+                f"[scenario] wrote {len(members)} member result files -> {path.parent}",
+                file=sys.stderr,
+            )
+        if pipeline.cache is not None:
+            hits, misses = pipeline.cache_stats
+            print(
+                f"[cache] {hits} hits, {misses} misses "
+                f"({pipeline.cache.directory})",
+                file=sys.stderr,
+            )
+    print(f"[done in {time.perf_counter() - started:.1f}s]", file=sys.stderr)
     return 0
 
 
@@ -666,6 +878,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_merge(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
 
     if args.command == "sweep":
         if (args.study is None) == (args.spec is None):

@@ -1,0 +1,189 @@
+"""Replicate aggregation: variant clouds to per-point quantile bands.
+
+A scenario family resolves into one table set per derived member —
+the same panels, the same grid shape, different realizations.  This
+module reduces that cloud along the member axis: every data cell of a
+panel becomes a ``(median, p_lo, p_hi)`` band across the family, and
+panels carrying optimum-pattern columns (``P_fo``/``P_num``/``T_fo``/
+``T_num``) grow a per-row ``stable`` flag marking grid points where the
+optimum *flips* (relative spread across variants beyond the tolerance,
+or first-order validity appearing/disappearing).  The output is plain
+:class:`~repro.experiments.common.FigureResult` tables, so banded
+output rides the existing table/CSV/streaming machinery.
+
+Determinism: member order is derive order, quantiles are
+``numpy.quantile`` over that fixed ordering, and every input value is
+bit-identical across executors — so the band tables are byte-identical
+whatever pool width, in-flight window or cache state produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ...exceptions import InvalidParameterError
+from ..common import FigureResult
+
+__all__ = ["BandSpec", "OPTIMUM_COLUMNS", "band_tables"]
+
+#: Sweep columns whose cross-variant movement constitutes an
+#: optimum-pattern flip (the location of the optimum, not its value).
+OPTIMUM_COLUMNS = frozenset({"P_fo", "P_num", "T_fo", "T_num"})
+
+
+@dataclass(frozen=True)
+class BandSpec:
+    """How a family reduces: quantile pair + flip tolerance."""
+
+    q_lo: float = 0.05
+    q_hi: float = 0.95
+    flip_tolerance: float = 0.05
+
+    def __post_init__(self):
+        if not 0.0 <= self.q_lo < self.q_hi <= 1.0:
+            raise InvalidParameterError(
+                f"band quantiles must satisfy 0 <= lo < hi <= 1, "
+                f"got ({self.q_lo!r}, {self.q_hi!r})"
+            )
+        if not self.flip_tolerance >= 0:
+            raise InvalidParameterError(
+                f"flip tolerance must be >= 0, got {self.flip_tolerance!r}"
+            )
+
+    @property
+    def lo_name(self) -> str:
+        return f"p{self.q_lo * 100:g}"
+
+    @property
+    def hi_name(self) -> str:
+        return f"p{self.q_hi * 100:g}"
+
+
+def _cell_values(tables: Sequence[FigureResult], row: int, col: int) -> list:
+    values = []
+    for table in tables:
+        value = table.rows[row][col]
+        if value is None:
+            values.append(None)
+        elif isinstance(value, (bool, str)):
+            raise InvalidParameterError(
+                f"cannot band non-numeric cell {value!r} in "
+                f"{table.figure_id} column {table.columns[col]!r}"
+            )
+        else:
+            values.append(float(value))
+    return values
+
+
+def _band_cells(values: list, band: BandSpec) -> tuple:
+    present = [v for v in values if v is not None]
+    if not present:
+        return (None, None, None)
+    q = np.quantile(np.asarray(present, dtype=float), [0.5, band.q_lo, band.q_hi])
+    return (float(q[0]), float(q[1]), float(q[2]))
+
+
+def _flips(values: list, band: BandSpec) -> bool:
+    """Whether an optimum column moves across the family at one point."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return False
+    if len(present) != len(values):
+        return True  # first-order validity itself flips across variants
+    spread = max(present) - min(present)
+    reference = abs(float(np.median(present)))
+    if reference == 0.0:
+        return spread > 0.0
+    return spread / reference > band.flip_tolerance
+
+
+def band_tables(
+    member_tables: Sequence[Sequence[FigureResult]],
+    band: BandSpec = BandSpec(),
+    panel_columns: Sequence[tuple[str, ...]] | None = None,
+    provenance: tuple[str, ...] = (),
+) -> list[FigureResult]:
+    """Reduce one family's per-member tables into banded tables.
+
+    ``member_tables[m][p]`` is member ``m``'s panel ``p`` (members in
+    derive order, the least-perturbed first — its lead column labels
+    the rows).  ``panel_columns[p]`` names the sweep columns behind
+    panel ``p``'s data columns (cycled across the per-scenario header
+    layout); panels containing :data:`OPTIMUM_COLUMNS` entries gain the
+    per-row ``stable`` flag.  ``provenance`` lines are appended to
+    every banded table's notes.
+    """
+    if not member_tables:
+        raise InvalidParameterError("cannot band an empty family")
+    n_panels = len(member_tables[0])
+    for m, tables in enumerate(member_tables):
+        if len(tables) != n_panels:
+            raise InvalidParameterError(
+                f"family member {m} produced {len(tables)} panels, "
+                f"expected {n_panels}"
+            )
+    out = []
+    for p in range(n_panels):
+        base = member_tables[0][p]
+        panels = [tables[p] for tables in member_tables]
+        for member in panels[1:]:
+            if len(member.rows) != len(base.rows) or len(member.columns) != len(
+                base.columns
+            ):
+                raise InvalidParameterError(
+                    f"family member tables of {base.figure_id} disagree in shape"
+                )
+        columns = panel_columns[p] if panel_columns is not None else ()
+        n_data = len(base.columns) - 1
+
+        def _source(j: int) -> str | None:
+            return columns[j % len(columns)] if columns else None
+
+        optimum_cols = [
+            j for j in range(n_data) if _source(j) in OPTIMUM_COLUMNS
+        ]
+        headers: list[str] = [base.columns[0]]
+        for j in range(n_data):
+            name = base.columns[1 + j]
+            headers.extend(
+                (f"{name}_med", f"{name}_{band.lo_name}", f"{name}_{band.hi_name}")
+            )
+        if optimum_cols:
+            headers.append("stable")
+        rows = []
+        n_stable = 0
+        for r in range(len(base.rows)):
+            row: list = [base.rows[r][0]]
+            flips = False
+            for j in range(n_data):
+                values = _cell_values(panels, r, 1 + j)
+                row.extend(_band_cells(values, band))
+                if j in optimum_cols and _flips(values, band):
+                    flips = True
+            if optimum_cols:
+                row.append(not flips)
+                n_stable += 0 if flips else 1
+            rows.append(tuple(row))
+        notes = [
+            f"bands over {len(panels)} family members "
+            f"(median, {band.lo_name}/{band.hi_name} quantiles)"
+        ]
+        if optimum_cols:
+            notes.append(
+                f"optimum pattern stable at {n_stable}/{len(rows)} grid points "
+                f"(rel spread <= {band.flip_tolerance:g} across members)"
+            )
+        notes.extend(provenance)
+        out.append(
+            FigureResult(
+                figure_id=f"{base.figure_id}_bands",
+                title=f"{base.title} [bands x{len(panels)}]",
+                columns=tuple(headers),
+                rows=tuple(rows),
+                notes=tuple(notes),
+            )
+        )
+    return out

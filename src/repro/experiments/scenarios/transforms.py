@@ -1,0 +1,318 @@
+"""The GridTransform algebra: deriving study families from one spec.
+
+The registry's :class:`~repro.experiments.spec.StudySpec` entries are
+*data*, so they can be transformed like data.  A transform maps a list
+of :class:`Variant` deltas to a longer list (its own deltas crossed
+with every input), and a transform chain folds left from the single
+identity variant — the result is the full cross product, in a
+deterministic order with the unperturbed member first:
+
+* :class:`Jitter` — multiplicative or additive perturbation of one
+  model axis (error rate, sequential fraction, downtime, checkpoint /
+  verification cost), with draws taken from a dedicated
+  ``SeedSequence`` stream of the master seed so the derived family is
+  a pure function of the scenario file;
+* :class:`Resample` — seed replicates: replicate 0 keeps the master
+  seed (so its points are plan-key-identical to a plain run of the
+  base study and dedup against it), replicates 1..n-1 get independent
+  derived seeds;
+* :class:`PlatformProduct` — the Table II catalog cross product.
+
+Variants are symbolic: a :class:`Perturbation` records *how* to move
+an axis (mode + value), not the final number — the resolution against
+a concrete spec + platform happens in
+:mod:`repro.experiments.scenarios.scenario_set`, which knows whether
+the axis is the study's sweep axis (scale the grid) or a fixed model
+parameter (override the catalog value).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from ...exceptions import InvalidParameterError
+from ...platforms.catalog import PLATFORM_NAMES
+from ..spec import AXIS_KWARGS
+
+__all__ = [
+    "PERTURB_AXES",
+    "PERTURB_MODES",
+    "DISTRIBUTIONS",
+    "Perturbation",
+    "Variant",
+    "GridTransform",
+    "Jitter",
+    "Resample",
+    "PlatformProduct",
+    "derive_variants",
+    "replicate_seed",
+]
+
+#: Model axes a perturbation may move: exactly the ``build_model``
+#: keywords a study may sweep (one source of truth with the TOML-study
+#: axis vocabulary, so the two validation surfaces cannot drift).
+PERTURB_AXES = AXIS_KWARGS
+
+PERTURB_MODES = ("multiplicative", "additive")
+
+#: Jitter draw shapes.  ``uniform`` draws factors from
+#: ``1 +/- width`` (or deltas from ``+/- width``); ``lognormal`` draws
+#: multiplicative factors ``exp(N(0, width))``; ``normal`` draws
+#: additive deltas ``N(0, width)``.
+DISTRIBUTIONS = ("uniform", "lognormal", "normal")
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One symbolic axis move: ``axis <- axis * value`` or ``+ value``."""
+
+    axis: str
+    mode: str
+    value: float
+
+    def apply(self, base: float) -> float:
+        if self.mode == "multiplicative":
+            return float(base) * self.value
+        return float(base) + self.value
+
+    @property
+    def label(self) -> str:
+        op = "*" if self.mode == "multiplicative" else "+"
+        return f"{self.axis}{op}{self.value:.6g}"
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One symbolic member of a derived family.
+
+    ``seed`` is ``None`` for the master seed (replicate 0 and every
+    un-resampled variant), so plan keys of unperturbed members match a
+    plain run of the base study exactly.
+    """
+
+    perturbations: tuple[Perturbation, ...] = ()
+    replicate: int = 0
+    seed: int | None = None
+    platform: str | None = None
+
+    @property
+    def label(self) -> str:
+        parts = [p.label for p in self.perturbations]
+        if self.seed is not None or self.replicate:
+            parts.append(f"rep{self.replicate}")
+        return "+".join(parts) if parts else "base"
+
+    @property
+    def is_base(self) -> bool:
+        """Whether this member is the unperturbed master-seed realization."""
+        return not self.perturbations and self.seed is None
+
+
+def _stream(master_seed: int, tag: str) -> np.random.Generator:
+    """A deterministic draw stream for one transform of one scenario set.
+
+    The spawn key derives from the transform's tag (kind, axis,
+    position in the chain), so reordering unrelated transforms never
+    silently reuses another transform's draws.
+    """
+    digest = hashlib.sha256(tag.encode()).digest()
+    spawn_key = tuple(int.from_bytes(digest[i : i + 4], "big") for i in range(0, 8, 4))
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=int(master_seed), spawn_key=spawn_key)
+    )
+
+
+def replicate_seed(master_seed: int, replicate: int) -> int:
+    """The derived master seed of replicate ``replicate >= 1``.
+
+    Replicate 0 is the master seed itself (callers pass ``seed=None``);
+    higher replicates get independent 32-bit seeds spawned from the
+    master ``SeedSequence``, which in turn fan out into the per-run
+    streams through the existing :mod:`repro.sim.rng` machinery.
+    """
+    if replicate < 1:
+        raise InvalidParameterError("replicate seeds start at replicate 1")
+    ss = np.random.SeedSequence(entropy=int(master_seed), spawn_key=(replicate,))
+    return int(ss.generate_state(1, np.uint32)[0])
+
+
+class GridTransform:
+    """Base class: one step of the variant algebra."""
+
+    def expand(self, variants: Sequence[Variant], master_seed: int, tag: str
+               ) -> list[Variant]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def describe(self) -> str:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass(frozen=True)
+class Jitter(GridTransform):
+    """Axis perturbation: ``count`` draws around the catalog value.
+
+    ``include_base=True`` (the default) keeps the identity variant, so
+    the family always contains the unperturbed axis value to band
+    against — and its points dedup with the base study's.
+    """
+
+    axis: str
+    width: float
+    count: int = 1
+    mode: str = "multiplicative"
+    distribution: str = "uniform"
+    include_base: bool = True
+
+    def __post_init__(self):
+        if self.axis not in PERTURB_AXES:
+            raise InvalidParameterError(
+                f"unknown jitter axis {self.axis!r} "
+                f"(perturbable axes: {', '.join(PERTURB_AXES)})"
+            )
+        if self.mode not in PERTURB_MODES:
+            raise InvalidParameterError(
+                f"unknown jitter mode {self.mode!r} "
+                f"(one of {', '.join(PERTURB_MODES)})"
+            )
+        if self.distribution not in DISTRIBUTIONS:
+            raise InvalidParameterError(
+                f"malformed distribution {self.distribution!r} "
+                f"(one of {', '.join(DISTRIBUTIONS)})"
+            )
+        if self.distribution == "lognormal" and self.mode != "multiplicative":
+            raise InvalidParameterError(
+                "malformed distribution: lognormal jitter is multiplicative "
+                "(use distribution='normal' for additive jitter)"
+            )
+        if self.distribution == "normal" and self.mode != "additive":
+            raise InvalidParameterError(
+                "malformed distribution: normal jitter is additive "
+                "(use distribution='lognormal' for multiplicative jitter)"
+            )
+        if not self.width > 0:
+            raise InvalidParameterError(
+                f"jitter width must be positive, got {self.width!r}"
+            )
+        if self.count < 1:
+            raise InvalidParameterError(
+                f"jitter count must be >= 1, got {self.count!r}"
+            )
+
+    def _draws(self, master_seed: int, tag: str) -> list[float]:
+        rng = _stream(master_seed, tag)
+        if self.distribution == "uniform":
+            offsets = rng.uniform(-self.width, self.width, size=self.count)
+            if self.mode == "multiplicative":
+                return [float(1.0 + o) for o in offsets]
+            return [float(o) for o in offsets]
+        if self.distribution == "lognormal":
+            return [float(v) for v in np.exp(rng.normal(0.0, self.width, self.count))]
+        return [float(v) for v in rng.normal(0.0, self.width, self.count)]
+
+    def expand(self, variants, master_seed, tag):
+        deltas: list[Perturbation | None] = []
+        if self.include_base:
+            deltas.append(None)
+        deltas.extend(
+            Perturbation(self.axis, self.mode, value)
+            for value in self._draws(master_seed, tag)
+        )
+        out = []
+        for variant in variants:
+            for delta in deltas:
+                if delta is None:
+                    out.append(variant)
+                else:
+                    out.append(
+                        replace(
+                            variant,
+                            perturbations=variant.perturbations + (delta,),
+                        )
+                    )
+        return out
+
+    def describe(self) -> str:
+        base = " + base" if self.include_base else ""
+        return (
+            f"jitter {self.axis} ({self.mode} {self.distribution}, "
+            f"width {self.width:g}, {self.count} draws{base})"
+        )
+
+
+@dataclass(frozen=True)
+class Resample(GridTransform):
+    """Seed resampling: ``replicates`` independent realizations per point."""
+
+    replicates: int
+
+    def __post_init__(self):
+        if self.replicates < 1:
+            raise InvalidParameterError(
+                f"replicates must be >= 1, got {self.replicates!r}"
+            )
+
+    def expand(self, variants, master_seed, tag):
+        out = []
+        for variant in variants:
+            for r in range(self.replicates):
+                if r == 0:
+                    out.append(variant)
+                else:
+                    out.append(
+                        replace(
+                            variant,
+                            replicate=r,
+                            seed=replicate_seed(master_seed, r),
+                        )
+                    )
+        return out
+
+    def describe(self) -> str:
+        return f"resample {self.replicates} replicates (replicate 0 = master seed)"
+
+
+@dataclass(frozen=True)
+class PlatformProduct(GridTransform):
+    """Catalog cross product: one family per Table II platform."""
+
+    platforms: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.platforms:
+            raise InvalidParameterError("platform product needs at least one platform")
+        for name in self.platforms:
+            if name not in PLATFORM_NAMES:
+                raise InvalidParameterError(
+                    f"unknown platform {name!r} "
+                    f"(Table II has {', '.join(PLATFORM_NAMES)})"
+                )
+
+    def expand(self, variants, master_seed, tag):
+        return [
+            replace(variant, platform=name)
+            for variant in variants
+            for name in self.platforms
+        ]
+
+    def describe(self) -> str:
+        return f"platforms {', '.join(self.platforms)}"
+
+
+def derive_variants(
+    transforms: Sequence[GridTransform], master_seed: int
+) -> list[Variant]:
+    """Fold a transform chain into the full variant cross product.
+
+    Starts from the single identity variant; each transform crosses its
+    deltas with every variant derived so far, so the first member of
+    the result is always the least-perturbed one.
+    """
+    variants: list[Variant] = [Variant()]
+    for i, transform in enumerate(transforms):
+        tag = f"{i}:{type(transform).__name__}:{getattr(transform, 'axis', '')}"
+        variants = transform.expand(variants, master_seed, tag)
+    return variants

@@ -74,8 +74,15 @@ SWEEP_COLUMNS = (
 
 _SIM_COLUMNS = ("H_sim_fo", "H_sim_num")
 
-#: ``build_model`` keyword an axis may sweep (TOML studies).
-AXIS_KWARGS = ("lambda_ind", "alpha", "downtime")
+#: ``build_model`` keyword an axis may sweep (TOML studies); the
+#: cost entries override the platform's measured reference costs.
+AXIS_KWARGS = (
+    "lambda_ind",
+    "alpha",
+    "downtime",
+    "checkpoint_cost",
+    "verification_cost",
+)
 
 
 @dataclass(frozen=True)
@@ -362,6 +369,10 @@ class StagedStudy:
     ctx: StudyContext
     state: Any
     n_pending: int
+    #: Completion-event label of this study's points (defaults to the
+    #: spec name; scenario variants use one label per derived study so
+    #: progress/dry-run attribution tells replicates apart).
+    group: str = ""
 
     def ready(self) -> bool:
         """Whether every deferred point of this study has resolved."""
@@ -393,12 +404,15 @@ def stage_study(
     grid: Sequence[float] | None = None,
     fixed: Mapping[str, float] | None = None,
     options: Mapping | None = None,
+    group: str | None = None,
 ) -> StagedStudy:
     """Run the declare phase of ``spec`` onto ``pipeline``.
 
     Overrides (``scenarios``, ``grid``, ``fixed`` model parameters,
     bespoke ``options``) replace the spec's defaults — this is how the
     figure modules keep their historical ``run(...)`` signatures.
+    ``group`` relabels the study's completion events (scenario variants
+    stage the same spec many times under distinct labels).
     """
     if pipeline is None:
         raise InvalidParameterError("stage_study requires an explicit pipeline")
@@ -421,13 +435,19 @@ def stage_study(
     # Label every point this declare phase emits with the study name so
     # event-driven resolution (progress counters, completion-driven
     # emission, dry-run previews) can attribute completions per study.
+    label = group if group is not None else spec.name
     previous_group = pipeline.current_group
-    pipeline.current_group = spec.name
+    pipeline.current_group = label
     try:
         state = declare(ctx)
     finally:
         pipeline.current_group = previous_group
-    return StagedStudy(ctx=ctx, state=state, n_pending=pipeline.pending_points - before)
+    return StagedStudy(
+        ctx=ctx,
+        state=state,
+        n_pending=pipeline.pending_points - before,
+        group=label,
+    )
 
 
 def run_study(
@@ -481,8 +501,8 @@ def load_toml_spec(path: str | Path) -> StudySpec:
         alpha = 0.01            # fixed model parameters (optional)
 
         [axis]
-        name = "lambda_ind"     # one of lambda_ind / alpha / downtime
-        values = [1e-11, 1e-10, 1e-9]
+        name = "lambda_ind"     # any AXIS_KWARGS entry (model parameter
+        values = [1e-11, 1e-10, 1e-9]   # or reference-cost override)
 
         [[panel]]
         suffix = "a_processors"

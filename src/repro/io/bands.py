@@ -1,0 +1,37 @@
+"""Banded table emission: the streaming output of the scenario lab.
+
+A scenario family aggregates only once its *last* member resolves, so
+banded output is naturally completion-driven: the runner feeds
+families (any object with the ``ready()``/``finish()`` staging
+contract, e.g.
+:class:`~repro.experiments.scenarios.scenario_set.ScenarioFamily`)
+into a :class:`BandedEmitter`, pumps it on every point event, and each
+family's quantile-band tables print the moment the family completes —
+while other families (other platforms of a catalog cross product) are
+still simulating.  Head-of-line flushing pins the emission order, so
+the bytes are independent of the executor, window size and completion
+interleaving, exactly like plain figure streaming.
+"""
+
+from __future__ import annotations
+
+from .stream import StreamingEmitter
+
+__all__ = ["BandedEmitter"]
+
+
+class BandedEmitter(StreamingEmitter):
+    """A :class:`StreamingEmitter` that banners each emitted family.
+
+    The banner line names the family (``== label ==``) ahead of its
+    band tables — scenario output interleaves many families, and the
+    banner is what keeps a streamed transcript scannable.  Entries
+    without a ``label`` attribute (plain staged studies) emit bare.
+    """
+
+    def _emit_one(self, staged) -> None:
+        label = getattr(staged, "label", None)
+        if label:
+            print(f"== {label} ==", file=self.stream)
+            print(file=self.stream)
+        self.emit_results(staged.finish())

@@ -58,6 +58,10 @@ class StreamingEmitter:
                 print(file=self.stream)
             self.emitted += 1
 
+    def _emit_one(self, staged) -> None:
+        """Flush one queue entry (subclass hook: banners, extra output)."""
+        self.emit_results(staged.finish())
+
     def pump(self) -> int:
         """Emit every leading queued study whose values have resolved.
 
@@ -70,7 +74,7 @@ class StreamingEmitter:
         flushed = 0
         while self._queue and self._queue[0].ready():
             staged = self._queue.pop(0)
-            self.emit_results(staged.finish())
+            self._emit_one(staged)
             flushed += 1
         return flushed
 
@@ -90,6 +94,6 @@ class StreamingEmitter:
         flushed = 0
         while self._queue:
             staged = self._queue.pop(0)
-            self.emit_results(staged.finish())
+            self._emit_one(staged)
             flushed += 1
         return flushed

@@ -111,12 +111,18 @@ def scenario_costs(
     platform: Platform | str,
     scenario_id: int,
     downtime: float = DEFAULT_DOWNTIME,
+    checkpoint_cost: float | None = None,
+    verification_cost: float | None = None,
 ) -> ResilienceCosts:
     """Project a platform's measured costs onto a Table-III scenario.
 
     The returned bundle evaluates to the measured ``C_ref``/``V_ref`` at
     the platform's reference processor count and extrapolates with the
-    scenario's scalability form elsewhere.
+    scenario's scalability form elsewhere.  ``checkpoint_cost`` /
+    ``verification_cost`` override the measured reference values (the
+    scenario-lab perturbation sweeps jitter them around the catalog
+    measurements); the scenario form is fitted through the override at
+    the same reference processor count.
 
     >>> costs = scenario_costs("Hera", 1)
     >>> round(costs.checkpoint_cost(512), 6)   # reproduces Table II
@@ -126,9 +132,15 @@ def scenario_costs(
         platform = get_platform(platform)
     scenario = get_scenario(scenario_id)
     p_ref = float(platform.reference_processors)
+    c_ref = platform.checkpoint_cost if checkpoint_cost is None else float(checkpoint_cost)
+    v_ref = (
+        platform.verification_cost
+        if verification_cost is None
+        else float(verification_cost)
+    )
     return ResilienceCosts(
-        checkpoint=scenario.checkpoint_model(platform.checkpoint_cost, p_ref),
-        verification=scenario.verification_model(platform.verification_cost, p_ref),
+        checkpoint=scenario.checkpoint_model(c_ref, p_ref),
+        verification=scenario.verification_model(v_ref, p_ref),
         downtime=downtime,
     )
 
@@ -139,6 +151,8 @@ def build_model(
     alpha: float = DEFAULT_ALPHA,
     downtime: float = DEFAULT_DOWNTIME,
     lambda_ind: float | None = None,
+    checkpoint_cost: float | None = None,
+    verification_cost: float | None = None,
 ) -> PatternModel:
     """Assemble the full :class:`PatternModel` for a platform + scenario.
 
@@ -160,11 +174,20 @@ def build_model(
         Downtime D in seconds (default one hour).
     lambda_ind:
         Optional override of the per-processor error rate (sweeps).
+    checkpoint_cost / verification_cost:
+        Optional overrides of the measured reference costs at the
+        platform's reference processor count (perturbation sweeps).
     """
     if isinstance(platform, str):
         platform = get_platform(platform)
     return PatternModel(
         errors=platform.error_model(lambda_ind),
-        costs=scenario_costs(platform, scenario_id, downtime),
+        costs=scenario_costs(
+            platform,
+            scenario_id,
+            downtime,
+            checkpoint_cost=checkpoint_cost,
+            verification_cost=verification_cost,
+        ),
         speedup=AmdahlSpeedup(alpha),
     )

@@ -101,3 +101,16 @@ class TestLookupAndBuild:
         p = get_platform("Coastal")
         model = build_model(p, 4)
         assert model.errors.lambda_ind == 2.34e-9
+
+    def test_cost_reference_overrides(self):
+        """Scenario-lab perturbations refit the forms through overrides."""
+        costs = scenario_costs("Hera", 1, checkpoint_cost=330.0,
+                               verification_cost=20.0)
+        assert costs.checkpoint_cost(512) == pytest.approx(330.0)
+        assert costs.verification_cost(512) == pytest.approx(20.0)
+        # The scenario form still extrapolates (scenario 1: C_P = cP).
+        assert costs.checkpoint_cost(1024) == pytest.approx(660.0)
+        model = build_model("Hera", 3, checkpoint_cost=150.0)
+        assert model.costs.checkpoint_cost(4096) == pytest.approx(150.0)
+        # No override: the catalog measurement, unchanged.
+        assert build_model("Hera", 3).costs.checkpoint_cost(512) == pytest.approx(300.0)

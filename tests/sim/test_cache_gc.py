@@ -171,7 +171,7 @@ class TestCacheCLI:
         assert len(cache.entries()) == 3
         assert main(
             ["cache", "prune", "--cache-dir", str(tmp_path),
-             "--max-age-days", "1.5"]
+             "--max-age-days", "1.5", "--yes"]
         ) == 0
         assert len(cache.entries()) == 1
 
@@ -179,3 +179,35 @@ class TestCacheCLI:
         from repro.experiments.runner import main
 
         assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 1
+
+    def test_prune_refuses_without_yes_when_not_a_tty(self, tmp_path, capsys):
+        """Deleting a (possibly shared) cache needs explicit consent."""
+        from repro.experiments.runner import main
+
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 3, mtime_step=86400.0)
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-age-days", "0.5"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "refusing to delete without --yes" in out
+        assert len(cache.entries()) == 3  # nothing deleted
+
+    def test_prune_interactive_confirmation(self, tmp_path, capsys, monkeypatch):
+        """A terminal user is prompted; 'n' aborts, 'y' deletes."""
+        from repro.experiments import runner
+
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 3, mtime_step=86400.0)
+        monkeypatch.setattr(runner.sys.stdin, "isatty", lambda: True)
+        argv = ["cache", "prune", "--cache-dir", str(tmp_path),
+                "--max-age-days", "0.5"]
+        monkeypatch.setattr("builtins.input", lambda prompt: "n")
+        assert runner.main(argv) == 1
+        assert "aborted" in capsys.readouterr().out
+        assert len(cache.entries()) == 3
+        monkeypatch.setattr("builtins.input", lambda prompt: "y")
+        assert runner.main(argv) == 0
+        assert "removed 3 entries" in capsys.readouterr().out
+        assert len(cache.entries()) == 0
