@@ -54,7 +54,7 @@ from ..sim.plan import (
     request_jobs,
     request_key,
 )
-from ..sim.scheduler import Scheduler
+from ..sim.scheduler import RetryPolicy, Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (common imports sim)
     from ..core.pattern import PatternModel
@@ -113,11 +113,15 @@ class PointEvent:
     chunk jobs ran this round), ``"served"`` (memo or disk cache), or
     ``"skipped"`` (a sharded executor did not claim it; the value is
     ``None``).  ``group`` is the study label active when the point was
-    declared (see :attr:`SimulationPipeline.current_group`).
+    declared (see :attr:`SimulationPipeline.current_group`).  ``key``
+    is the point's content-addressed plan key — what the run manifest
+    journals so an interrupted run can be resumed; duplicates of one
+    key fire one event each, all carrying the same key.
     """
 
     group: str | None
     status: str
+    key: str | None = None
 
 
 def private_pipeline(settings: "SimSettings") -> "SimulationPipeline":
@@ -172,6 +176,13 @@ class SimulationPipeline:
         invocation (the scheduler's global window).  ``None`` sizes it
         from the executor's worker count; ``1`` degenerates to strict
         serial submission order.
+    retry:
+        The scheduler's :class:`~repro.sim.scheduler.RetryPolicy` for
+        transient job failures.  The sentinel ``"default"`` uses the
+        scheduler's own default policy; ``None`` restores fail-fast.
+    fault:
+        A deterministic :class:`~repro.sim.faults.FaultPlan` threaded
+        into every scheduling round (dev/test harness).
     """
 
     def __init__(
@@ -180,10 +191,14 @@ class SimulationPipeline:
         cache_dir=None,
         executor: Executor | None = None,
         max_inflight: int | None = None,
+        retry="default",
+        fault=None,
     ):
         self.executor = executor if executor is not None else make_executor(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_inflight = max_inflight
+        self.retry = retry
+        self.fault = fault
         self._memo: dict[str, object] = {}
         self._pending: list[tuple] = []  # (kind, item, deferred, group)
         #: Label attached to subsequently declared points (the staging
@@ -248,6 +263,27 @@ class SimulationPipeline:
         self._pending.append(("call", (fn, args, kwargs), deferred, self.current_group))
         self.points_submitted += 1
         return deferred
+
+    def pending_keys(self) -> list[str]:
+        """Plan keys of the pending declarations (deduplicated, in order).
+
+        The resume path validates a run manifest against exactly this
+        set: a journaled fate whose key is no longer pending is stale
+        (the plan changed — different backend version, budget, seed…)
+        and must not be reused.
+        """
+        keys: list[str] = []
+        seen: set[str] = set()
+        for kind, item, _, _ in self._pending:
+            if kind == "request":
+                key = request_key(item)
+            else:
+                fn, args, kwargs = item
+                key = call_key(fn, args, kwargs)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
 
     # -- previewing it (dry runs) ------------------------------------------
 
@@ -365,13 +401,13 @@ class SimulationPipeline:
                     call_items.append((key, item))
                 call_decls.setdefault(key, []).append((deferred, group))
 
-        def deliver(decls, value, status) -> None:
+        def deliver(decls, value, status, key=None) -> None:
             for deferred, group in decls:
                 if status == "skipped":
                     self.points_skipped += 1
                 deferred._set(value)
                 if on_event is not None:
-                    on_event(PointEvent(group=group, status=status))
+                    on_event(PointEvent(group=group, status=status, key=key))
 
         # Serve/skip calls: memo, disk cache, then one claim batch for
         # the rest (mirrors the request path; a work-stealing shard
@@ -380,13 +416,13 @@ class SimulationPipeline:
         unserved_calls: list[tuple[str, tuple]] = []
         for key, item in call_items:
             if key in self._memo:
-                deliver(call_decls[key], self._memo[key], "served")
+                deliver(call_decls[key], self._memo[key], "served", key)
                 continue
             if self.cache is not None:
                 hit = self.cache.get_value(key)
                 if hit is not None:
                     self._memo[key] = hit
-                    deliver(call_decls[key], hit, "served")
+                    deliver(call_decls[key], hit, "served", key)
                     continue
             unserved_calls.append((key, item))
         claimed_calls = set(self.executor.claim([key for key, _ in unserved_calls]))
@@ -394,7 +430,7 @@ class SimulationPipeline:
             if key in claimed_calls:
                 call_jobs.append((key, item))
             else:
-                deliver(call_decls[key], None, "skipped")
+                deliver(call_decls[key], None, "skipped", key)
 
         # Serve/skip requests whose value needs no job this round.
         for i, decls in point_decls.items():
@@ -402,15 +438,17 @@ class SimulationPipeline:
                 continue  # computing: delivered on its last completion
             estimate = estimates[i]
             if estimate is None:
-                deliver(decls, None, "skipped")
+                deliver(decls, None, "skipped", plan.keys[i])
             else:
-                deliver(decls, estimate.mean, "served")
+                deliver(decls, estimate.mean, "served", plan.keys[i])
 
         # Event-driven dispatch: one global in-flight window over the
         # executor; each point resolves the moment its last chunk lands.
         scheduler = Scheduler(
             self.executor,
             max_inflight if max_inflight is not None else self.max_inflight,
+            retry=RetryPolicy() if self.retry == "default" else self.retry,
+            fault=self.fault,
         )
         for job, tag in tagged_jobs:
             scheduler.add(job, tag)
@@ -424,7 +462,7 @@ class SimulationPipeline:
                     self._memo[key] = result
                     if self.cache is not None:
                         self.cache.put_value(key, float(result))
-                    deliver(call_decls[key], result, "computed")
+                    deliver(call_decls[key], result, "computed", key)
                     continue
                 i, part = tag
                 if not books[i].deliver(part, result):
@@ -436,7 +474,7 @@ class SimulationPipeline:
                 self._memo[plan.keys[i]] = estimate
                 if self.cache is not None:
                     self.cache.put_estimate(plan.keys[i], estimate)
-                deliver(point_decls.get(i, ()), estimate.mean, "computed")
+                deliver(point_decls.get(i, ()), estimate.mean, "computed", plan.keys[i])
         except BaseException:
             # A failed job must not leak worker processes: shut the
             # executor down (cancelling queued pool work) on the way out.

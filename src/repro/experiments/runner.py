@@ -33,12 +33,20 @@ from collections import Counter, defaultdict
 from pathlib import Path
 from typing import Callable, Sequence
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, ReproError
 from ..io.stream import StreamingEmitter
 from ..io.tables import render_table
 from ..platforms.catalog import PLATFORM_NAMES, PLATFORMS
 from ..platforms.scenarios import SCENARIOS
 from ..sim.executors import make_executor, merge_shard_dirs
+from ..sim.faults import CRASH_EXIT_CODE, SimulatedCrash, parse_fault_plan
+from ..sim.manifest import (
+    DEFAULT_RUNS_DIR,
+    RunManifest,
+    RunRecorder,
+    manifest_path,
+    validate_resume,
+)
 from ..sim.montecarlo import FAST, METHODS, PAPER, Fidelity
 from ..sim.plan import ResultCache
 from ..sim.rng import DEFAULT_SEED
@@ -57,11 +65,18 @@ _FIGURES = RUNNERS
 #: in EXPERIMENTS.md are legitimate and exempt from the drift check.
 _META_COMMANDS = {
     "all", "tables", "report", "index", "sweep", "merge", "cache", "scenario",
+    "resume",
 }
 
 #: Meta commands EXPERIMENTS.md is required to document (the figure
 #: commands are always required; ``index`` documents itself).
-_DOCUMENTED_META = ("all", "tables", "sweep", "merge", "cache", "scenario")
+_DOCUMENTED_META = ("all", "tables", "sweep", "merge", "cache", "scenario", "resume")
+
+#: Default claim-board lease TTL (seconds) in work-stealing shard mode:
+#: long enough that no healthy shard's claim expires between scheduling
+#: rounds, short enough that a dead shard's keys are reclaimed within
+#: one coffee break instead of blocking the sweep forever.
+DEFAULT_CLAIM_TTL = 900.0
 
 
 def print_input_tables(stream=None) -> None:
@@ -122,6 +137,7 @@ def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
     count = getattr(args, "shard_count", None)
     mode = getattr(args, "shard_mode", "static")
     claim_dir = getattr(args, "claim_dir", None)
+    claim_ttl = getattr(args, "claim_ttl", None)
     if count is None:
         if getattr(args, "shard_index", None) is not None:
             raise SystemExit("--shard-index requires --shard-count")
@@ -129,6 +145,8 @@ def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
             raise SystemExit("--shard-mode requires --shard-count")
         if claim_dir is not None:
             raise SystemExit("--claim-dir requires --shard-mode stealing")
+        if claim_ttl is not None:
+            raise SystemExit("--claim-ttl requires --shard-mode stealing")
         return None
     index = args.shard_index if args.shard_index is not None else 0
     if count < 1 or not 0 <= index < count:
@@ -141,6 +159,8 @@ def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
         )
     if mode == "static" and claim_dir is not None:
         raise SystemExit("--claim-dir only applies to --shard-mode stealing")
+    if mode == "static" and claim_ttl is not None:
+        raise SystemExit("--claim-ttl only applies to --shard-mode stealing")
     return index, count
 
 
@@ -160,6 +180,13 @@ def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
     max_inflight = getattr(args, "max_inflight", None)
     if max_inflight is not None and max_inflight < 1:
         raise SystemExit("--max-inflight must be >= 1")
+    fault = None
+    fault_spec = getattr(args, "fault_plan", None)
+    if fault_spec:
+        try:
+            fault = parse_fault_plan(fault_spec)
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from None
     shard = _shard_args(args)
     if shard is not None:
         if args.cache_dir is not None or args.no_cache:
@@ -171,16 +198,33 @@ def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
                 "with --cache-dir on the merged directory)"
             )
         index, count = shard
+        claim_ttl = getattr(args, "claim_ttl", None)
+        if claim_ttl is None:
+            claim_ttl = DEFAULT_CLAIM_TTL
         executor = make_executor(
-            jobs, index, count, shard_mode=args.shard_mode, claim_dir=args.claim_dir
+            jobs,
+            index,
+            count,
+            shard_mode=args.shard_mode,
+            claim_dir=args.claim_dir,
+            claim_ttl=claim_ttl if claim_ttl > 0 else None,
         )
-        return SimulationPipeline(
-            executor=executor, cache_dir=args.shard_dir, max_inflight=max_inflight
+        pipeline = SimulationPipeline(
+            executor=executor,
+            cache_dir=args.shard_dir,
+            max_inflight=max_inflight,
+            fault=fault,
         )
-    cache_dir = None if args.no_cache else args.cache_dir
-    return SimulationPipeline(
-        jobs=jobs, cache_dir=cache_dir, max_inflight=max_inflight
-    )
+    else:
+        cache_dir = None if args.no_cache else args.cache_dir
+        pipeline = SimulationPipeline(
+            jobs=jobs, cache_dir=cache_dir, max_inflight=max_inflight, fault=fault
+        )
+    if fault is not None and pipeline.cache is not None:
+        hurt = fault.corrupt_cache(pipeline.cache)
+        if hurt is not None:
+            print(f"[fault] corrupted cache entry {hurt[:16]}…", file=sys.stderr)
+    return pipeline
 
 
 def _platforms_for(spec: StudySpec, args: argparse.Namespace) -> tuple[str, ...]:
@@ -265,6 +309,63 @@ def _progress_printer(staged: Sequence, stream=None) -> Callable:
         )
 
     return on_event
+
+
+def _chain_events(*callbacks: Callable | None) -> Callable | None:
+    """Compose optional ``on_event`` callbacks into one (or ``None``)."""
+    chained = [cb for cb in callbacks if cb is not None]
+    if not chained:
+        return None
+    if len(chained) == 1:
+        return chained[0]
+
+    def on_event(event) -> None:
+        for cb in chained:
+            cb(event)
+
+    return on_event
+
+
+def _recorder_from_args(
+    args: argparse.Namespace,
+    argv: Sequence[str],
+    pipeline: SimulationPipeline,
+) -> RunRecorder | None:
+    """The durable-run journal implied by ``--run-id``/``--resume``.
+
+    Must be called *after* staging (a resume validates the manifest
+    against the pipeline's pending plan keys).  All reporting goes to
+    stderr, keeping the table bytes on stdout identical to an
+    unjournaled run.
+    """
+    run_id = getattr(args, "run_id", None)
+    resume = getattr(args, "resume", False)
+    if run_id is None:
+        if resume:
+            raise SystemExit("--resume requires --run-id (whose manifest to resume)")
+        return None
+    if pipeline.cache is None:
+        raise SystemExit(
+            "--run-id needs a result cache (--cache-dir or --shard-dir): the "
+            "manifest journals point fates; the cache holds the values a "
+            "resume reuses"
+        )
+    runs_dir = getattr(args, "runs_dir", None) or DEFAULT_RUNS_DIR
+    try:
+        if not resume:
+            recorder = RunRecorder.create(runs_dir, run_id, argv)
+            print(f"[run] journaling to {recorder.path}", file=sys.stderr)
+            return recorder
+        recorder = RunRecorder.resume(runs_dir, run_id, argv)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+    report = validate_resume(
+        recorder.manifest, pipeline.pending_keys(), pipeline.cache, argv
+    )
+    for line in report.lines():
+        print(line, file=sys.stderr)
+    recorder.write()
+    return recorder
 
 
 def _print_dry_run(pipeline: SimulationPipeline, stream=None) -> None:
@@ -359,6 +460,37 @@ def _add_sim_options(
         action="store_true",
         help="bypass the result cache even when --cache-dir is set",
     )
+    sub.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="journal this invocation as a durable run: every resolved "
+        "point's fate is written atomically to a manifest under "
+        "--runs-dir, so an interrupted run can be resumed "
+        "(`repro-experiments resume ID`); requires a result cache "
+        "(--cache-dir or --shard-dir)",
+    )
+    sub.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help=f"directory holding run manifests (default {DEFAULT_RUNS_DIR})",
+    )
+    sub.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the --run-id run from its manifest: journaled fates "
+        "whose cache entries verify are reused; stale/corrupt/missing "
+        "ones recompute",
+    )
+    sub.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="dev/test harness: inject deterministic faults, e.g. "
+        "'crash-after=20', 'fail-job=3:2', 'kill-worker=5', "
+        "'corrupt-entry=0' (comma-separated)",
+    )
 
 
 def _add_common_options(
@@ -408,6 +540,15 @@ def _add_common_options(
         metavar="DIR",
         help="shared claim-board directory for --shard-mode stealing "
         "(a filesystem all shards can reach)",
+    )
+    sub.add_argument(
+        "--claim-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease TTL on claim-board markers: a claim not renewed for "
+        "this long is treated as left by a dead shard and reclaimed "
+        f"(default {DEFAULT_CLAIM_TTL:.0f}; 0 disables reclamation)",
     )
     sub.add_argument("--csv", default=None, metavar="DIR", help="also dump CSV files")
 
@@ -483,17 +624,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", required=True, metavar="DIR", help="merge target cache"
     )
 
+    sub_resume = subparsers.add_parser(
+        "resume",
+        help="continue an interrupted --run-id run from its manifest, "
+        "reusing every completed point whose cache entry verifies",
+    )
+    sub_resume.add_argument("run_id", metavar="RUN_ID")
+    sub_resume.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help=f"directory holding run manifests (default {DEFAULT_RUNS_DIR})",
+    )
+    sub_resume.add_argument(
+        "--jobs", type=int, default=None,
+        help="override the run's worker-process count (execution-only; "
+        "the result bytes are unaffected)",
+    )
+    sub_resume.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="override the run's in-flight window (execution-only)",
+    )
+    sub_resume.add_argument(
+        "--progress", action="store_true", help="per-study progress to stderr"
+    )
+    sub_resume.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="dev/test harness: inject faults into the resumed round",
+    )
+
     sub_cache = subparsers.add_parser(
-        "cache", help="inspect or prune a result cache (stats / ls / prune)"
+        "cache",
+        help="inspect, verify or prune a result cache (stats / ls / verify / prune)",
     )
     cache_sub = sub_cache.add_subparsers(dest="cache_command", required=True)
     for cache_cmd, cache_help in (
         ("stats", "aggregate entry count and size"),
         ("ls", "list entries with size and age"),
+        ("verify", "integrity-check every entry (catches truncated npz files)"),
         ("prune", "age/size-based garbage collection"),
     ):
         c = cache_sub.add_parser(cache_cmd, help=cache_help)
         c.add_argument("--cache-dir", required=True, metavar="DIR")
+        if cache_cmd == "verify":
+            c.add_argument(
+                "--delete",
+                action="store_true",
+                help="delete the corrupt entries so they read as clean misses",
+            )
         if cache_cmd == "prune":
             c.add_argument(
                 "--max-age-days",
@@ -638,7 +816,11 @@ def _run_figure(
             pipe.close()
 
 
-def _write_report(args: argparse.Namespace, pipeline: SimulationPipeline) -> None:
+def _write_report(
+    args: argparse.Namespace,
+    pipeline: SimulationPipeline,
+    argv: Sequence[str] = (),
+) -> None:
     import io as _io
 
     from ..io.report import write_report
@@ -646,9 +828,15 @@ def _write_report(args: argparse.Namespace, pipeline: SimulationPipeline) -> Non
     settings = _settings_from_args(args)
     collected: list[tuple[str, list[FigureResult]]] = []
     staged = _stage_specs([get_spec(n) for n in REGISTRY], args, pipeline)
-    on_event = _progress_printer(staged) if args.progress else None
+    recorder = _recorder_from_args(args, argv, pipeline)
+    on_event = _chain_events(
+        recorder.on_event if recorder is not None else None,
+        _progress_printer(staged) if args.progress else None,
+    )
     _resolve_and_emit(staged, pipeline, emitter=None, collect=collected,
                       on_event=on_event)
+    if recorder is not None:
+        recorder.finish()
     # Re-group per study (fig2 --all-platforms stages one study per
     # platform but the report keeps one section per figure).
     sections: list[tuple[str, list[FigureResult]]] = []
@@ -710,6 +898,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         ]
         print(render_table(("key (prefix)", "bytes", "age"), rows))
         return 0
+    if args.cache_command == "verify":
+        ok, corrupt = cache.verify()
+        for entry, reason in corrupt:
+            print(f"[verify] corrupt {entry.key[:16]}: {reason}")
+        if corrupt and args.delete:
+            for entry, _ in corrupt:
+                cache.invalidate(entry.key)
+            print(
+                f"[verify] {len(ok)} entries ok, {len(corrupt)} corrupt removed "
+                f"({cache.directory})"
+            )
+            return 0
+        print(
+            f"[verify] {len(ok)} entries ok, {len(corrupt)} corrupt "
+            f"({cache.directory})"
+        )
+        return 1 if corrupt else 0
     # prune
     if args.max_age_days is None and args.max_size_mb is None:
         print("[prune] nothing to do: pass --max-age-days and/or --max-size-mb")
@@ -770,7 +975,7 @@ def _scenario_manifest_rows(members) -> list[tuple]:
     return rows
 
 
-def _cmd_scenario(args: argparse.Namespace) -> int:
+def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
     from ..io.bands import BandedEmitter
     from .scenarios import (
         aggregate_results,
@@ -826,6 +1031,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         if args.dry_run:
             _print_dry_run(pipeline)
             return 0
+        recorder = _recorder_from_args(args, argv, pipeline)
         if args.progress:
             # The planned-work preview costs a plan key per point and a
             # disk probe per unique key, so compute it only when the
@@ -842,7 +1048,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 f"(dedup ratio {ratio:.2%})",
                 file=sys.stderr,
             )
-        on_event = _progress_printer(staged) if args.progress else None
+        on_event = _chain_events(
+            recorder.on_event if recorder is not None else None,
+            _progress_printer(staged) if args.progress else None,
+        )
         if args.scenario_command == "report":
             emitter = BandedEmitter(csv_dir=args.csv)
             _resolve_and_emit(families, pipeline, emitter=emitter, on_event=on_event)
@@ -853,6 +1062,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 f"[scenario] wrote {len(members)} member result files -> {path.parent}",
                 file=sys.stderr,
             )
+        if recorder is not None:
+            recorder.finish()
         if pipeline.cache is not None:
             hits, misses = pipeline.cache_stats
             print(
@@ -864,8 +1075,64 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Replay an interrupted run's stored argv with ``--resume`` appended.
+
+    Execution-only overrides (``--jobs``, ``--max-inflight``, …) are
+    appended after the stored arguments, so argparse's last-wins rule
+    applies them without touching the result-relevant configuration —
+    which is exactly the set the manifest's config hash covers, so the
+    resumed round still validates against the original run.
+    """
+    runs_dir = args.runs_dir if args.runs_dir is not None else DEFAULT_RUNS_DIR
+    try:
+        manifest = RunManifest.load(manifest_path(runs_dir, args.run_id))
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+    # Injected faults are one-shot: replaying the crash that interrupted
+    # the run would just crash it again, forever.
+    replay: list[str] = []
+    skip = 0
+    for arg in manifest.argv:
+        if skip:
+            skip -= 1
+            continue
+        if arg == "--fault-plan":
+            skip = 1
+            continue
+        if arg.startswith("--fault-plan="):
+            continue
+        replay.append(arg)
+    if "--resume" not in replay:
+        replay.append("--resume")
+    if args.runs_dir is not None:
+        replay += ["--runs-dir", args.runs_dir]
+    if args.jobs is not None:
+        replay += ["--jobs", str(args.jobs)]
+    if args.max_inflight is not None:
+        replay += ["--max-inflight", str(args.max_inflight)]
+    if args.progress:
+        replay.append("--progress")
+    if args.fault_plan is not None:
+        replay += ["--fault-plan", args.fault_plan]
+    print(f"[resume] replaying: {' '.join(replay)}", file=sys.stderr)
+    return main(replay)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, argv)
+    except SimulatedCrash as exc:
+        # The fault harness's kill -9 analogue: die loudly with a
+        # dedicated exit code so crash-resume tests and CI can tell an
+        # injected crash from a real failure.
+        print(f"[fault] {exc}", file=sys.stderr)
+        return CRASH_EXIT_CODE
+
+
+def _dispatch(args: argparse.Namespace, argv: list[str]) -> int:
     if args.command == "tables":
         print_input_tables()
         return 0
@@ -878,8 +1145,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_merge(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "scenario":
-        return _cmd_scenario(args)
+        return _cmd_scenario(args, argv)
 
     if args.command == "sweep":
         if (args.study is None) == (args.spec is None):
@@ -908,12 +1177,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             _print_dry_run(pipeline)
             return 0
         if args.command == "report":
-            _write_report(args, pipeline)
+            _write_report(args, pipeline, argv)
         else:
             staged = _stage_specs(specs, args, pipeline)
+            recorder = _recorder_from_args(args, argv, pipeline)
             emitter = None if sharded else StreamingEmitter(csv_dir=args.csv)
-            on_event = _progress_printer(staged) if args.progress else None
+            on_event = _chain_events(
+                recorder.on_event if recorder is not None else None,
+                _progress_printer(staged) if args.progress else None,
+            )
             _resolve_and_emit(staged, pipeline, emitter=emitter, on_event=on_event)
+            if recorder is not None:
+                recorder.finish()
         if sharded:
             index, count = _shard_args(args)
             print(

@@ -48,13 +48,16 @@ def make_executor(
     shard_count: int | None = None,
     shard_mode: str = "static",
     claim_dir=None,
+    claim_ttl: float | None = None,
 ) -> Executor:
     """Build the executor implied by the CLI flags.
 
     ``jobs`` follows :class:`~repro.sim.plan.WorkerPool` semantics
     (``None`` auto-sizes, ``<= 1`` is serial); shard flags wrap the
     resulting executor in a :class:`ShardedExecutor` (``shard_mode``
-    picks the static partition or work stealing over ``claim_dir``).
+    picks the static partition or work stealing over ``claim_dir``;
+    ``claim_ttl`` is the lease TTL in seconds after which a dead
+    shard's claims may be reclaimed).
     """
     inner: Executor
     if jobs is not None and jobs <= 1:
@@ -68,5 +71,6 @@ def make_executor(
             inner,
             mode=shard_mode,
             claim_dir=claim_dir,
+            lease_ttl=claim_ttl,
         )
     return inner

@@ -72,27 +72,88 @@ class ClaimBoard:
     already inside*: the first claimer wins even across machines, and
     a shard dying mid-claim can never leave a torn owner-less marker
     that would orphan the key for everyone.
+
+    **Leases.** A marker's mtime is its lease timestamp: claiming (or
+    re-claiming, which every scheduling round does) renews it.  With
+    ``lease_ttl`` set, a *foreign* marker older than the TTL is
+    treated as abandoned by a dead worker and reclaimed — previously
+    such a key was blocked forever.  Reclamation is made safe by a
+    tombstone rename: exactly one contender wins the ``os.rename`` of
+    the stale marker (the loser's rename fails), and the winner then
+    re-runs the normal atomic claim.  The one unavoidable TOCTOU
+    window (a marker renewed between the staleness check and the
+    rename) can at worst cause a duplicate computation — harmless,
+    because jobs are pure and duplicate cache entries are
+    byte-identical, which ``merge`` accepts.  Pick a TTL longer than
+    the slowest single point plus the gap between scheduling rounds.
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path, lease_ttl: float | None = None):
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise SimulationError("lease_ttl must be positive (or None)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.lease_ttl = lease_ttl
+        #: Stale foreign claims taken over (observability/tests).
+        self.reclaimed = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.claim"
 
-    def try_claim(self, key: str, owner: str) -> bool:
-        """Atomically claim ``key`` for ``owner`` (idempotent per owner)."""
+    def _publish(self, key: str, owner: str) -> bool | None:
+        """One atomic claim attempt: True won, False lost, None raced."""
         path = self._path(key)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(owner)
         try:
             os.link(tmp, path)
         except FileExistsError:
-            return self.owner_of(key) == owner
+            if self.owner_of(key) == owner:
+                os.utime(path, None)  # renew our lease
+                return True
+            return False
         finally:
             tmp.unlink(missing_ok=True)
         return True
+
+    def try_claim(self, key: str, owner: str) -> bool:
+        """Atomically claim ``key`` for ``owner`` (idempotent per owner).
+
+        With a lease TTL, a stale foreign marker is reclaimed (see the
+        class docstring) before one more claim attempt.
+        """
+        won = self._publish(key, owner)
+        if won:
+            return True
+        if self.lease_ttl is None:
+            return False
+        age = self.age_of(key)
+        if age is None or age <= self.lease_ttl:
+            return False
+        return self._reclaim(key, owner)
+
+    def _reclaim(self, key: str, owner: str) -> bool:
+        """Tombstone a stale marker, then re-run the atomic claim."""
+        path = self._path(key)
+        tomb = path.with_name(f".{path.name}.{os.getpid()}.stale")
+        try:
+            os.rename(path, tomb)
+        except OSError:
+            # Another contender renamed it first (and may already have
+            # republished); fall back to whether we now own the key.
+            return self.owner_of(key) == owner
+        tomb.unlink(missing_ok=True)
+        self.reclaimed += 1
+        return bool(self._publish(key, owner))
+
+    def age_of(self, key: str) -> float | None:
+        """Seconds since the claim's lease was last renewed (None: unclaimed)."""
+        import time as _time
+
+        try:
+            return _time.time() - self._path(key).stat().st_mtime
+        except OSError:
+            return None
 
     def owner_of(self, key: str) -> str | None:
         """The owner that claimed ``key``, or ``None`` if unclaimed."""
@@ -127,6 +188,7 @@ class ShardedExecutor(Executor):
         inner: Executor | None = None,
         mode: str = "static",
         claim_dir: str | Path | None = None,
+        lease_ttl: float | None = None,
     ):
         if shard_count < 1:
             raise SimulationError("shard_count must be >= 1")
@@ -146,7 +208,11 @@ class ShardedExecutor(Executor):
         self.shard_count = int(shard_count)
         self.inner = inner if inner is not None else SerialExecutor()
         self.mode = mode
-        self.board = ClaimBoard(claim_dir) if mode == "stealing" else None
+        self.board = (
+            ClaimBoard(claim_dir, lease_ttl=lease_ttl)
+            if mode == "stealing"
+            else None
+        )
         self.owner_id = f"shard-{self.shard_index}"
 
     @property

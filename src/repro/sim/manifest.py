@@ -1,0 +1,369 @@
+"""Durable runs: an atomically-journaled manifest per CLI invocation.
+
+A killed ``all``/``scenario run`` used to restart from whatever the
+npz cache happened to hold — the cache deduplicates work, but nothing
+represented *the run itself* as a durable object: which points it
+planned, which completed, under which code/config world.  This module
+adds that object, dogfooding the paper's own checkpoint-recovery
+story:
+
+* a :class:`RunManifest` records the run id, the full CLI ``argv``, a
+  config hash over the result-relevant arguments,
+  :data:`repro.sim.plan.BACKEND_VERSION`, and a journal of plan keys
+  with their fates (``computed`` / ``served`` / ``skipped``);
+* a :class:`RunRecorder` updates the manifest **atomically** (temp
+  file + ``os.replace`` + fsync) as the event-driven scheduler
+  delivers points, so the on-disk manifest is always a consistent
+  prefix of the run — a ``kill -9`` at any instant leaves a loadable
+  checkpoint;
+* on resume (``repro-experiments resume <run-id>``),
+  :func:`validate_resume` re-derives the plan from the *current*
+  world and checks every journaled fate against it — the REQ-10
+  "checkpoint recovery integrity" pattern: a checkpoint faithfully
+  restores internal state, but the world may have moved on.  A fate
+  whose plan key still exists in the new plan and whose cache entry
+  verifies is **reused**; a key the new plan no longer produces
+  (code/config drift, ``BACKEND_VERSION`` bump) is **stale**; a key
+  whose cache entry is missing or corrupt is **invalidated** (the
+  corrupt entry is deleted so it reads as a clean miss).  Only
+  invalidated/stale work is recomputed, through the same event-driven
+  round — resumed output is byte-identical to an uninterrupted run
+  because the cache-served values are the very estimates the
+  interrupted run computed.
+
+The manifest never stores results — those live in the
+content-addressed :class:`~repro.sim.plan.ResultCache`, which is why
+``--run-id`` requires a cache directory: fates without cached values
+could prove *what* completed but not reuse it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import ReproError
+from .plan import BACKEND_VERSION
+
+__all__ = [
+    "RunManifest",
+    "RunRecorder",
+    "ResumeReport",
+    "validate_resume",
+    "config_hash",
+    "manifest_path",
+    "DEFAULT_RUNS_DIR",
+    "MANIFEST_NAME",
+]
+
+#: Default directory run manifests live under (one subdirectory per
+#: run id), relative to the working directory unless ``--runs-dir``
+#: points elsewhere.
+DEFAULT_RUNS_DIR = ".repro-runs"
+
+MANIFEST_NAME = "manifest.json"
+
+#: Current manifest schema version (bumped on incompatible changes; a
+#: mismatched manifest refuses to resume rather than misvalidating).
+MANIFEST_FORMAT = 1
+
+#: CLI flags that change *where/how fast* a run executes but never the
+#: result bytes — excluded from the config hash so a resume may
+#: override them (e.g. resume a serial run with ``--jobs 4``).
+_EXECUTION_FLAGS = {
+    "--jobs": 1,
+    "--max-inflight": 1,
+    "--progress": 0,
+    "--dry-run": 0,
+    "--run-id": 1,
+    "--runs-dir": 1,
+    "--resume": 0,
+    "--fault-plan": 1,
+    "--claim-ttl": 1,
+}
+
+
+def config_hash(argv: list[str] | tuple[str, ...]) -> str:
+    """Digest of the result-relevant CLI arguments plus backend version.
+
+    Execution-only flags (:data:`_EXECUTION_FLAGS`) are stripped, so
+    two invocations that must produce identical bytes hash identically
+    even when their parallelism or observability flags differ.
+    """
+    import hashlib
+
+    kept: list[str] = []
+    skip = 0
+    for arg in argv:
+        if skip:
+            skip -= 1
+            continue
+        flag, _, inline_value = arg.partition("=")
+        if flag in _EXECUTION_FLAGS:
+            if not inline_value:
+                skip = _EXECUTION_FLAGS[flag]
+            continue
+        kept.append(arg)
+    payload = ("run-config", MANIFEST_FORMAT, BACKEND_VERSION, tuple(kept))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def manifest_path(runs_dir: str | Path, run_id: str) -> Path:
+    return Path(runs_dir) / run_id / MANIFEST_NAME
+
+
+@dataclass
+class RunManifest:
+    """The durable state of one run (see module docstring).
+
+    ``fates`` maps each delivered plan key to how its value last
+    materialized; duplicate declarations of one key share one entry,
+    so ``len(fates)`` counts unique points, matching the cache.
+    """
+
+    run_id: str
+    argv: tuple[str, ...]
+    backend_version: int = BACKEND_VERSION
+    config: str = ""
+    status: str = "running"  # running | complete
+    resumes: int = 0
+    #: plan key -> "computed" | "served" | "skipped"
+    fates: dict[str, str] = field(default_factory=dict)
+    #: Fate tallies of the latest (resumed) round, for the
+    #: zero-duplicate-work acceptance check.
+    reused: int = 0
+    recomputed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.config:
+            self.config = config_hash(self.argv)
+
+    def counts(self) -> dict[str, int]:
+        out = {"computed": 0, "served": 0, "skipped": 0}
+        for fate in self.fates.values():
+            out[fate] = out.get(fate, 0) + 1
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "run_id": self.run_id,
+            "argv": list(self.argv),
+            "backend_version": self.backend_version,
+            "config": self.config,
+            "status": self.status,
+            "resumes": self.resumes,
+            "reused": self.reused,
+            "recomputed": self.recomputed,
+            "fates": self.fates,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunManifest":
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ReproError(
+                f"run manifest format {data.get('format')!r} is not "
+                f"{MANIFEST_FORMAT} (written by an incompatible version)"
+            )
+        return cls(
+            run_id=data["run_id"],
+            argv=tuple(data["argv"]),
+            backend_version=data["backend_version"],
+            config=data["config"],
+            status=data["status"],
+            resumes=data.get("resumes", 0),
+            fates=dict(data.get("fates", {})),
+            reused=data.get("reused", 0),
+            recomputed=data.get("recomputed", 0),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ReproError(f"no run manifest at {path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"unreadable run manifest {path}: {exc}") from None
+        return cls.from_json(data)
+
+
+class RunRecorder:
+    """Journals a run's point fates into its manifest, atomically.
+
+    Designed as a ``SimulationPipeline.resolve`` ``on_event`` callback:
+    every delivered :class:`~repro.experiments.pipeline.PointEvent`
+    carrying a plan key updates the fate map and rewrites the manifest
+    via temp file + ``os.replace`` (with an fsync), so a crash between
+    any two events leaves a consistent, loadable journal of exactly
+    the delivered prefix.
+    """
+
+    def __init__(self, path: str | Path, manifest: RunManifest):
+        self.path = Path(path)
+        self.manifest = manifest
+        #: Fates journaled by previous (interrupted) rounds — the
+        #: baseline the reused/recomputed accounting compares against.
+        self._prior = dict(manifest.fates)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.write()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, runs_dir: str | Path, run_id: str, argv: list[str] | tuple[str, ...]
+    ) -> "RunRecorder":
+        """Start a fresh run journal; refuses to clobber an existing one."""
+        path = manifest_path(runs_dir, run_id)
+        if path.exists():
+            raise ReproError(
+                f"run {run_id!r} already has a manifest under {path.parent} — "
+                f"resume it (`repro-experiments resume {run_id}` or --resume), "
+                f"or pick a new --run-id"
+            )
+        return cls(path, RunManifest(run_id=run_id, argv=tuple(argv)))
+
+    @classmethod
+    def resume(
+        cls, runs_dir: str | Path, run_id: str, argv: list[str] | tuple[str, ...]
+    ) -> "RunRecorder":
+        """Reopen an existing run journal for a resumed round."""
+        path = manifest_path(runs_dir, run_id)
+        manifest = RunManifest.load(path)
+        manifest.status = "running"
+        manifest.resumes += 1
+        manifest.reused = 0
+        manifest.recomputed = 0
+        # The *stored* argv stays authoritative for the config hash;
+        # the resumed argv may override execution flags only, which the
+        # hash ignores — a result-relevant drift shows up in validate.
+        manifest.argv = tuple(argv)
+        return cls(path, manifest)
+
+    # -- journaling --------------------------------------------------------
+
+    def on_event(self, event) -> None:
+        """Record one delivered point fate (events without keys pass)."""
+        key = getattr(event, "key", None)
+        if key is None:
+            return
+        first = key not in self.manifest.fates or self.manifest.fates[key] != event.status
+        self.manifest.fates[key] = event.status
+        prior = self._prior.get(key)
+        if event.status == "computed" and prior == "computed":
+            # The acceptance smell: work a previous round already did.
+            self.manifest.recomputed += 1
+        elif event.status == "served" and prior in ("computed", "served"):
+            self.manifest.reused += 1
+        if first or event.status == "computed":
+            self.write()
+
+    def finish(self, status: str = "complete") -> None:
+        self.manifest.status = status
+        self.write()
+
+    def write(self) -> None:
+        """Atomic rewrite: temp + fsync + ``os.replace``."""
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        payload = json.dumps(self.manifest.to_json(), indent=1, sort_keys=True)
+        with open(tmp, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+
+@dataclass(frozen=True)
+class ResumeReport:
+    """What a resume found when it checked the checkpoint against the world."""
+
+    run_id: str
+    backend_changed: bool
+    config_changed: bool
+    reusable: tuple[str, ...]
+    invalidated: tuple[str, ...]  # cache entry corrupt: deleted, recomputed
+    missing: tuple[str, ...]  # cache entry vanished: recomputed
+    stale: tuple[str, ...]  # key absent from the re-derived plan
+    pending: int  # points the resumed round still has to deliver
+
+    def lines(self) -> list[str]:
+        """Human-readable validation summary (one ``[resume]`` line each)."""
+        done = len(self.reusable) + len(self.invalidated) + len(self.missing)
+        out = [
+            f"[resume] run {self.run_id!r}: {done + len(self.stale)} journaled "
+            f"fates, {self.pending} points pending this round",
+        ]
+        if self.backend_changed:
+            out.append(
+                "[resume] BACKEND_VERSION changed since the manifest was "
+                "written — every journaled key is stale and recomputes"
+            )
+        if self.config_changed:
+            out.append(
+                "[resume] result-relevant CLI arguments changed — fates that "
+                "no longer match the re-derived plan recompute"
+            )
+        out.append(
+            f"[resume] {len(self.reusable)} reusable from cache, "
+            f"{len(self.invalidated)} invalidated (corrupt), "
+            f"{len(self.missing)} missing, {len(self.stale)} stale"
+        )
+        return out
+
+
+def validate_resume(
+    manifest: RunManifest,
+    pending_keys,
+    cache,
+    argv: list[str] | tuple[str, ...] | None = None,
+) -> ResumeReport:
+    """Check every journaled fate against the current world.
+
+    ``pending_keys`` is the set of plan keys the resumed invocation is
+    about to resolve (re-derived from current code and config — these
+    keys embed model parameters, seed, backend and
+    :data:`~repro.sim.plan.BACKEND_VERSION`), ``cache`` the result
+    cache that would serve them.  Corrupt cache entries are deleted
+    here so they read as clean misses; everything else is reported,
+    not mutated.
+    """
+    pending_keys = set(pending_keys)
+    backend_changed = manifest.backend_version != BACKEND_VERSION
+    # The resumed round runs under the *current* backend; stamp it so
+    # the manifest reflects the world its newest fates come from (the
+    # drift was captured in backend_changed just above).
+    manifest.backend_version = BACKEND_VERSION
+    reusable: list[str] = []
+    invalidated: list[str] = []
+    missing: list[str] = []
+    stale: list[str] = []
+    for key, fate in sorted(manifest.fates.items()):
+        if fate == "skipped":
+            continue
+        if key not in pending_keys:
+            stale.append(key)
+            continue
+        ok, reason = cache.verify_entry(key)
+        if ok:
+            reusable.append(key)
+        elif reason == "missing":
+            missing.append(key)
+        else:
+            cache.invalidate(key)
+            invalidated.append(key)
+    return ResumeReport(
+        run_id=manifest.run_id,
+        backend_changed=backend_changed,
+        config_changed=(
+            manifest.config != config_hash(argv if argv is not None else manifest.argv)
+        ),
+        reusable=tuple(reusable),
+        invalidated=tuple(invalidated),
+        missing=tuple(missing),
+        stale=tuple(stale),
+        pending=len(pending_keys),
+    )

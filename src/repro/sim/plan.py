@@ -515,10 +515,74 @@ class ResultCache:
         """
         return self._path(key).exists()
 
+    # -- integrity ---------------------------------------------------------
+
+    #: Entry kinds this cache writes (anything else is a foreign file).
+    _KINDS = ("estimate", "value")
+
+    def verify_entry(self, key: str) -> tuple[bool, str]:
+        """Integrity-check one entry without hit/miss accounting.
+
+        Returns ``(True, "ok")`` for a fully readable entry,
+        ``(False, "missing")`` when no file exists, and
+        ``(False, <reason>)`` for a truncated/corrupt/foreign file.
+        Every array is force-read, so a file truncated mid-payload is
+        caught, not just a mangled header.
+        """
+        path = self._path(key)
+        if not path.exists():
+            return False, "missing"
+        if path.stat().st_size == 0:
+            return False, "empty file"
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                kind = str(data["kind"][()])
+                if kind not in self._KINDS:
+                    return False, f"unknown entry kind {kind!r}"
+                for name in data.files:
+                    data[name]  # force-read: catches truncated payloads
+        except KeyError:
+            return False, "no 'kind' field (foreign file)"
+        except Exception as exc:
+            return False, f"unreadable ({type(exc).__name__}: {exc})"
+        return True, "ok"
+
+    def verify(self) -> tuple[list["CacheEntry"], list[tuple["CacheEntry", str]]]:
+        """Integrity-check every entry; returns ``(ok, corrupt)``.
+
+        ``corrupt`` pairs each bad entry with its reason.  Corrupt
+        entries are *reported*, never deleted — that is the caller's
+        decision (``cache verify --delete``, or the resume validator).
+        """
+        ok: list[CacheEntry] = []
+        corrupt: list[tuple[CacheEntry, str]] = []
+        for entry in self.entries():
+            good, reason = self.verify_entry(entry.key)
+            if good:
+                ok.append(entry)
+            else:
+                corrupt.append((entry, reason))
+        return ok, corrupt
+
+    def invalidate(self, key: str) -> bool:
+        """Delete one entry (a corrupt checkpoint must read as a miss)."""
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
     def _store(self, key: str, **fields) -> None:
+        # Atomic publish: write the whole entry to a private temp file,
+        # fsync it, then rename over the final name.  A reader (or a
+        # crash) can therefore never observe a torn entry — only the
+        # old state, or the complete new one.
         path = self._path(key)
         tmp = path.with_name(f".{key}.{os.getpid()}.tmp.npz")
-        np.savez(tmp, **fields)
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **fields)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     # -- overhead estimates ------------------------------------------------
@@ -589,6 +653,10 @@ class ResultCache:
             "total_bytes": sum(e.size for e in entries),
             "oldest_mtime": entries[0].mtime if entries else None,
             "newest_mtime": entries[-1].mtime if entries else None,
+            # Cheap corruption signal (no loads): a zero-byte entry can
+            # only be a torn write from a pre-atomic cache or a full
+            # disk; `verify` does the thorough per-entry check.
+            "empty_entries": sum(1 for e in entries if e.size == 0),
         }
 
     def prune(

@@ -17,23 +17,45 @@ queued jobs — across every study of an invocation — as one stream:
   delivers each into its per-point bookkeeping and resolves the
   point's deferred value the moment its last chunk arrives.
 
+The scheduler is also where the execution layer stops being
+fail-fast.  A *transient* job failure — an :class:`OSError`-family
+infrastructure error, a broken/cancelled process pool, an injected
+:class:`~repro.sim.faults.TransientFault` — is retried under a
+:class:`RetryPolicy`: bounded resubmissions with exponential backoff,
+then one last inline execution in the scheduling process, and only if
+*that* fails does the error propagate and abort the round.  Job-level
+errors that are not infrastructure (a :class:`SimulationError`, a
+``ValueError`` from bad arguments) are never retried — retrying a
+deterministic failure only hides it.  A :class:`~repro.sim.faults.FaultPlan`
+can be attached to inject deterministic failures, worker kills and
+simulated crashes for the crash-resume tests.
+
 Determinism: the sampled numbers are pure functions of the job
 arguments, and per-point merging happens in part order (never
-completion order), so the window size, the executor and the completion
-interleaving change wall-clock only.  With a serial executor every
-submit resolves inline and the event stream degenerates to exact
-submission order — ``max_inflight=1`` on any executor does the same.
+completion order), so the window size, the executor, the completion
+interleaving — and any retries, which re-run the identical pure job —
+change wall-clock only.  With a serial executor every submit resolves
+inline and the event stream degenerates to exact submission order —
+``max_inflight=1`` on any executor does the same.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from ..exceptions import SimulationError
 from .plan import run_job
 
-__all__ = ["Scheduler", "default_inflight", "DEFAULT_WINDOW_FACTOR"]
+__all__ = [
+    "Scheduler",
+    "RetryPolicy",
+    "is_transient",
+    "default_inflight",
+    "DEFAULT_WINDOW_FACTOR",
+]
 
 #: Default in-flight window per pool worker: deep enough to hide the
 #: submit/collect round-trip, shallow enough that a cancelled run
@@ -46,6 +68,56 @@ def default_inflight(workers: int) -> int:
     return max(1, DEFAULT_WINDOW_FACTOR * int(workers))
 
 
+def is_transient(error: BaseException) -> bool:
+    """Whether a job failure is infrastructure-shaped (worth retrying).
+
+    Transient: :class:`OSError` and subclasses (which covers the
+    injected :class:`~repro.sim.faults.TransientFault`), a broken
+    process pool, and a cancelled pool future (a broken pool's
+    shutdown cancels its queue).  Everything else is treated as a
+    deterministic job error and never retried.
+    """
+    from concurrent.futures import CancelledError
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(error, (OSError, BrokenProcessPool, CancelledError))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient job failures.
+
+    A failing job is resubmitted to the executor up to ``attempts``
+    times, sleeping ``delay(attempt)`` before each resubmission
+    (``base_delay * backoff ** (attempt-1)``, capped at ``max_delay``);
+    if every resubmission fails transiently too, the job runs once
+    *inline* in the scheduling process — the executor may be broken,
+    but the run can still finish serially.  ``sleep`` is injectable so
+    tests assert the backoff sequence without waiting it out.
+    """
+
+    attempts: int = 2
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the ``attempt``-th resubmission (1-based)."""
+        return min(self.max_delay, self.base_delay * self.backoff ** (attempt - 1))
+
+
+class _Entry:
+    """One queued job with its retry bookkeeping."""
+
+    __slots__ = ("job", "tag", "attempts")
+
+    def __init__(self, job: tuple, tag):
+        self.job = job
+        self.tag = tag
+        self.attempts = 0
+
+
 class Scheduler:
     """Windowed submit / as_completed dispatch over one executor.
 
@@ -55,17 +127,34 @@ class Scheduler:
     ``(tag, result)`` per completion.  The scheduler owns no processes
     — lifecycle stays with the executor — and is reusable: new jobs
     may be added between (not during) :meth:`events` drains.
+
+    ``retry`` (default :class:`RetryPolicy`) bounds how hard transient
+    failures are retried before the run gives up; ``retry=None``
+    restores the historical fail-fast behaviour.  ``fault`` attaches a
+    deterministic :class:`~repro.sim.faults.FaultPlan` (test harness).
     """
 
-    def __init__(self, executor, max_inflight: int | None = None):
+    def __init__(
+        self,
+        executor,
+        max_inflight: int | None = None,
+        retry: RetryPolicy | None = RetryPolicy(),
+        fault=None,
+    ):
         if max_inflight is None:
             max_inflight = default_inflight(executor.workers)
         if int(max_inflight) < 1:
             raise SimulationError("max_inflight must be >= 1")
         self.executor = executor
         self.max_inflight = int(max_inflight)
-        self._queue: deque = deque()
-        self._outstanding = 0
+        self.retry = retry
+        self.fault = fault
+        self._queue: deque[_Entry] = deque()
+        self._inflight: dict = {}  # JobFuture -> _Entry
+        #: Transient-failure resubmissions performed (observability).
+        self.retries = 0
+        #: Last-resort inline executions after retries were exhausted.
+        self.inline_fallbacks = 0
 
     @property
     def pending(self) -> int:
@@ -75,34 +164,63 @@ class Scheduler:
     @property
     def outstanding(self) -> int:
         """Submitted jobs whose completion has not been consumed yet."""
-        return self._outstanding
+        return len(self._inflight)
 
     def add(self, job: tuple, tag=None) -> None:
         """Queue one ``(fn, args, kwargs)`` job for dispatch."""
-        self._queue.append((job, tag))
+        self._queue.append(_Entry(job, tag))
+
+    def _submit(self, entry: _Entry) -> None:
+        job = entry.job
+        if self.fault is not None:
+            job = self.fault.wrap_job(job, entry.tag, entry.attempts)
+        future = self.executor.submit(run_job, job, tag=entry.tag)
+        self._inflight[future] = entry
 
     def events(self) -> Iterator[tuple]:
         """Submit with a bounded window; yield ``(tag, result)`` events.
 
-        A job exception propagates out of the iteration (the in-flight
-        window is abandoned); the caller is responsible for closing the
+        A transient job failure is retried per :attr:`retry` (backoff
+        resubmissions, then one inline run); a deterministic job
+        exception — or a transient one that survives the whole retry
+        ladder — propagates out of the iteration (the in-flight window
+        is abandoned); the caller is responsible for closing the
         executor, which cancels whatever was still queued on the pool.
         """
-        while self._queue or self._outstanding:
-            while self._queue and self._outstanding < self.max_inflight:
-                job, tag = self._queue.popleft()
-                self.executor.submit(run_job, job, tag=tag)
-                self._outstanding += 1
+        while self._queue or self._inflight:
+            while self._queue and len(self._inflight) < self.max_inflight:
+                self._submit(self._queue.popleft())
             future = self.executor.next_completed()
             if future is None:  # pragma: no cover - executor contract
                 raise SimulationError(
-                    f"executor lost track of {self._outstanding} in-flight jobs"
+                    f"executor lost track of {len(self._inflight)} in-flight jobs"
                 )
-            self._outstanding -= 1
-            yield future.tag, future.result()
+            entry = self._inflight.pop(future)
+            try:
+                result = future.result()
+            except Exception as error:
+                if self.retry is None or not is_transient(error):
+                    raise
+                entry.attempts += 1
+                if entry.attempts <= self.retry.attempts:
+                    # Bounded resubmission with exponential backoff.
+                    self.retries += 1
+                    self.retry.sleep(self.retry.delay(entry.attempts))
+                    self._queue.appendleft(entry)
+                    continue
+                # Retries exhausted: one last inline execution in this
+                # process before the run gives up.  Jobs are pure, so
+                # an inline success is the identical result; an inline
+                # failure propagates (nothing left to try).
+                self.inline_fallbacks += 1
+                result = run_job(entry.job)
+            yield entry.tag, result
+            if self.fault is not None:
+                self.fault.on_completion()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Scheduler(max_inflight={self.max_inflight}, "
-            f"pending={self.pending}, outstanding={self.outstanding})"
+            f"pending={self.pending}, outstanding={self.outstanding}, "
+            f"retries={self.retries})"
         )

@@ -211,3 +211,87 @@ class TestCacheCLI:
         assert runner.main(argv) == 0
         assert "removed 3 entries" in capsys.readouterr().out
         assert len(cache.entries()) == 0
+
+
+class TestCacheVerify:
+    """Integrity checks: truncated/corrupt/foreign entries are caught."""
+
+    def test_clean_cache_verifies(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 3)
+        ok, corrupt = cache.verify()
+        assert len(ok) == 3 and corrupt == []
+        assert cache.verify_entry("k00") == (True, "ok")
+
+    def test_missing_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.verify_entry("nope") == (False, "missing")
+
+    def test_truncated_entry_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 2)
+        path = cache._path("k00")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        ok, corrupt = cache.verify()
+        assert [e.key for e in ok] == ["k01"]
+        assert [e.key for e, _ in corrupt] == ["k00"]
+
+    def test_empty_file_is_corrupt_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 1)
+        cache._path("k00").write_bytes(b"")
+        assert cache.verify_entry("k00") == (False, "empty file")
+        assert cache.stats()["empty_entries"] == 1
+
+    def test_foreign_npz_is_corrupt(self, tmp_path):
+        import numpy as np
+
+        cache = ResultCache(tmp_path)
+        with open(cache._path("alien"), "wb") as handle:
+            np.savez(handle, payload=np.arange(3))
+        ok, reason = cache.verify_entry("alien")
+        assert not ok and "foreign" in reason
+
+    def test_invalidate_deletes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 1)
+        assert cache.invalidate("k00")
+        assert not cache.invalidate("k00")  # already gone
+        assert cache.verify_entry("k00") == (False, "missing")
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_value("k", 5.0)
+        cache._path("k").write_bytes(b"garbage")
+        assert cache.get_value("k") is None  # miss, not an exception
+
+    def test_atomic_store_leaves_no_temp_on_success(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 3)
+        stray = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+        assert stray == []
+
+
+class TestCacheVerifyCLI:
+    def test_verify_clean_and_corrupt(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        cache = ResultCache(tmp_path)
+        TestCacheGC._fill(cache, 3)
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert "3 entries ok, 0 corrupt" in capsys.readouterr().out
+        path = cache._path("k01")
+        path.write_bytes(path.read_bytes()[:10])
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "2 entries ok, 1 corrupt" in out and "k01" in out
+        # The corrupt entry survives a report-only verify...
+        assert cache._path("k01").exists()
+        # ... and is removed by --delete.
+        assert main(
+            ["cache", "verify", "--cache-dir", str(tmp_path), "--delete"]
+        ) == 0
+        assert "1 corrupt removed" in capsys.readouterr().out
+        assert not cache._path("k01").exists()
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0

@@ -1,0 +1,136 @@
+"""Deterministic fault injection: plan parsing, wrapping, crash hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.sim.faults import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    SimulatedCrash,
+    TransientFault,
+    parse_fault_plan,
+)
+from repro.sim.plan import ResultCache, run_job
+from repro.sim.scheduler import is_transient
+
+
+def _job(value):
+    return (_identity, (value,), {})
+
+
+def _identity(value):
+    return value
+
+
+class TestParsing:
+    def test_single_terms(self):
+        assert parse_fault_plan("crash-after=20").crash_after == 20
+        assert parse_fault_plan("kill-worker=5").kill_worker == 5
+        assert parse_fault_plan("corrupt-entry=0").corrupt_entry == 0
+        assert parse_fault_plan("seed=3").seed == 3
+
+    def test_fail_job_with_repeat(self):
+        plan = parse_fault_plan("fail-job=3:2")
+        assert plan.fail_job == 3 and plan.fail_times == 2
+
+    def test_combined_terms(self):
+        plan = parse_fault_plan("fail-job=3,crash-after=40")
+        assert plan.fail_job == 3 and plan.crash_after == 40
+
+    def test_unknown_term_refuses(self):
+        with pytest.raises(ReproError, match="unknown fault-plan term"):
+            parse_fault_plan("explode=1")
+
+    def test_non_integer_refuses(self):
+        with pytest.raises(ReproError, match="needs an integer"):
+            parse_fault_plan("crash-after=soon")
+
+    def test_one_based_indices(self):
+        for spec in ("fail-job=0", "kill-worker=0", "crash-after=0"):
+            with pytest.raises(ReproError, match="1-based"):
+                parse_fault_plan(spec)
+        with pytest.raises(ReproError, match=">= 0"):
+            parse_fault_plan("corrupt-entry=-1")
+        with pytest.raises(ReproError, match="repeat count"):
+            parse_fault_plan("fail-job=1:0")
+
+
+class TestWrapJob:
+    def test_matched_job_raises_then_passes(self):
+        plan = FaultPlan(fail_job=2, fail_times=2)
+        # Job 1 passes through untouched.
+        assert plan.wrap_job(_job(1), tag=1, attempt=0) == _job(1)
+        # Job 2 fails on its first submission and first retry...
+        wrapped = plan.wrap_job(_job(2), tag=2, attempt=0)
+        with pytest.raises(TransientFault):
+            run_job(wrapped)
+        wrapped = plan.wrap_job(_job(2), tag=2, attempt=1)
+        with pytest.raises(TransientFault):
+            run_job(wrapped)
+        # ... then runs normally on the next resubmission.
+        assert plan.wrap_job(_job(2), tag=2, attempt=2) == _job(2)
+
+    def test_retries_do_not_advance_sequence(self):
+        plan = FaultPlan(fail_job=2)
+        plan.wrap_job(_job(1), tag=1, attempt=0)
+        # A retry of job 1 (attempt > 0) must not consume sequence 2.
+        plan.wrap_job(_job(1), tag=1, attempt=1)
+        wrapped = plan.wrap_job(_job(2), tag=2, attempt=0)
+        with pytest.raises(TransientFault):
+            run_job(wrapped)
+
+    def test_injected_fault_is_transient(self):
+        assert is_transient(TransientFault("boom"))
+
+    def test_kill_worker_inline_degrades_to_raise(self):
+        # No parent process in the test: the kill body raises instead
+        # of os._exit, keeping the suite alive.
+        plan = FaultPlan(kill_worker=1)
+        wrapped = plan.wrap_job(_job(1), tag=1, attempt=0)
+        with pytest.raises(TransientFault, match="worker kill"):
+            run_job(wrapped)
+        # Injection spent: resubmission runs the real job.
+        assert plan.wrap_job(_job(1), tag=1, attempt=1) == _job(1)
+
+
+class TestCompletionCrash:
+    def test_crashes_after_nth_completion(self):
+        plan = FaultPlan(crash_after=3)
+        plan.on_completion()
+        plan.on_completion()
+        with pytest.raises(SimulatedCrash):
+            plan.on_completion()
+
+    def test_no_crash_without_term(self):
+        plan = FaultPlan()
+        for _ in range(10):
+            plan.on_completion()
+
+    def test_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE not in (0, 1, 2)
+
+
+class TestCorruptCache:
+    def test_truncates_nth_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put_value(f"k{i}", float(i))
+        sizes = {e.key: e.size for e in cache.entries()}
+        hurt = FaultPlan(corrupt_entry=1).corrupt_cache(cache)
+        assert hurt == "k1"
+        ok, reason = cache.verify_entry("k1")
+        assert not ok
+        assert cache.verify_entry("k0") == (True, "ok")
+        assert cache._path("k1").stat().st_size < sizes["k1"]
+
+    def test_out_of_range_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert FaultPlan(corrupt_entry=5).corrupt_cache(cache) is None
+
+    def test_unconfigured_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_value("k", 1.0)
+        assert FaultPlan().corrupt_cache(cache) is None
+        assert cache.verify_entry("k") == (True, "ok")

@@ -1,0 +1,192 @@
+"""Run manifests: atomic journaling, config hashing, resume validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.sim import plan as plan_mod
+from repro.sim.manifest import (
+    DEFAULT_RUNS_DIR,
+    RunManifest,
+    RunRecorder,
+    config_hash,
+    manifest_path,
+    validate_resume,
+)
+from repro.sim.plan import ResultCache
+
+
+class _Event:
+    """Stand-in for a PointEvent (only key/status are read)."""
+
+    def __init__(self, key, status):
+        self.key = key
+        self.status = status
+
+
+class TestConfigHash:
+    def test_execution_flags_are_ignored(self):
+        base = ["fig5", "--runs", "6", "--cache-dir", "c"]
+        noisy = base + [
+            "--jobs", "4", "--max-inflight", "8", "--progress",
+            "--run-id", "x", "--runs-dir", "r", "--resume",
+            "--fault-plan", "crash-after=3", "--claim-ttl", "60",
+        ]
+        assert config_hash(base) == config_hash(noisy)
+
+    def test_inline_form_is_ignored_too(self):
+        base = ["fig5", "--runs", "6"]
+        assert config_hash(base) == config_hash(base + ["--jobs=4"])
+
+    def test_result_relevant_flags_change_the_hash(self):
+        assert config_hash(["fig5", "--runs", "6"]) != config_hash(
+            ["fig5", "--runs", "7"]
+        )
+        assert config_hash(["fig5", "--seed", "1"]) != config_hash(
+            ["fig5", "--seed", "2"]
+        )
+
+    def test_backend_version_enters_the_hash(self, monkeypatch):
+        before = config_hash(["fig5"])
+        monkeypatch.setattr(plan_mod, "BACKEND_VERSION", plan_mod.BACKEND_VERSION + 1)
+        # config_hash reads the symbol through its own import; patch both.
+        import repro.sim.manifest as manifest_mod
+
+        monkeypatch.setattr(
+            manifest_mod, "BACKEND_VERSION", plan_mod.BACKEND_VERSION
+        )
+        assert config_hash(["fig5"]) != before
+
+
+class TestManifestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        manifest = RunManifest(run_id="r1", argv=("fig5", "--runs", "6"))
+        manifest.fates["k1"] = "computed"
+        path = manifest_path(tmp_path, "r1")
+        RunRecorder(path, manifest)  # writes immediately
+        loaded = RunManifest.load(path)
+        assert loaded.run_id == "r1"
+        assert loaded.argv == ("fig5", "--runs", "6")
+        assert loaded.fates == {"k1": "computed"}
+        assert loaded.config == manifest.config
+
+    def test_incompatible_format_refuses(self):
+        with pytest.raises(ReproError, match="format"):
+            RunManifest.from_json({"format": 999, "run_id": "x"})
+
+    def test_missing_manifest_refuses(self, tmp_path):
+        with pytest.raises(ReproError, match="no run manifest"):
+            RunManifest.load(tmp_path / "nope" / "manifest.json")
+
+    def test_counts(self):
+        manifest = RunManifest(run_id="r", argv=("cmd",))
+        manifest.fates.update(k1="computed", k2="computed", k3="served")
+        assert manifest.counts() == {"computed": 2, "served": 1, "skipped": 0}
+
+
+class TestRecorder:
+    def test_create_refuses_existing_run(self, tmp_path):
+        RunRecorder.create(tmp_path, "r1", ["cmd"])
+        with pytest.raises(ReproError, match="already has a manifest"):
+            RunRecorder.create(tmp_path, "r1", ["cmd"])
+
+    def test_journal_is_a_consistent_prefix(self, tmp_path):
+        recorder = RunRecorder.create(tmp_path, "r1", ["cmd"])
+        recorder.on_event(_Event("k1", "computed"))
+        recorder.on_event(_Event("k2", "computed"))
+        # The on-disk manifest already holds both fates, mid-run.
+        on_disk = RunManifest.load(manifest_path(tmp_path, "r1"))
+        assert on_disk.fates == {"k1": "computed", "k2": "computed"}
+        assert on_disk.status == "running"
+        recorder.finish()
+        assert RunManifest.load(recorder.path).status == "complete"
+
+    def test_events_without_keys_pass(self, tmp_path):
+        recorder = RunRecorder.create(tmp_path, "r1", ["cmd"])
+        recorder.on_event(_Event(None, "computed"))
+        assert recorder.manifest.fates == {}
+
+    def test_resume_accounting(self, tmp_path):
+        recorder = RunRecorder.create(tmp_path, "r1", ["cmd"])
+        recorder.on_event(_Event("k1", "computed"))
+        recorder.on_event(_Event("k2", "computed"))
+        resumed = RunRecorder.resume(tmp_path, "r1", ["cmd", "--jobs", "4"])
+        assert resumed.manifest.resumes == 1
+        # k1 served from cache (reused), k2 recomputed (the smell), k3 new.
+        resumed.on_event(_Event("k1", "served"))
+        resumed.on_event(_Event("k2", "computed"))
+        resumed.on_event(_Event("k3", "computed"))
+        assert resumed.manifest.reused == 1
+        assert resumed.manifest.recomputed == 1
+        assert len(resumed.manifest.fates) == 3
+
+    def test_atomic_write_leaves_no_temp(self, tmp_path):
+        recorder = RunRecorder.create(tmp_path, "r1", ["cmd"])
+        for i in range(5):
+            recorder.on_event(_Event(f"k{i}", "computed"))
+        leftovers = [
+            p for p in recorder.path.parent.iterdir() if p.name != recorder.path.name
+        ]
+        assert leftovers == []
+        json.loads(recorder.path.read_text())  # always valid JSON
+
+
+class TestValidateResume:
+    def _manifest(self, fates):
+        manifest = RunManifest(run_id="r", argv=("cmd",))
+        manifest.fates.update(fates)
+        return manifest
+
+    def test_classifies_reusable_missing_stale_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_value("good", 1.0)
+        cache.put_value("bad", 2.0)
+        cache._path("bad").write_bytes(b"torn")
+        manifest = self._manifest(
+            {"good": "computed", "bad": "computed", "gone": "computed",
+             "old": "computed", "skip": "skipped"}
+        )
+        report = validate_resume(
+            manifest, ["good", "bad", "gone", "new"], cache
+        )
+        assert report.reusable == ("good",)
+        assert report.invalidated == ("bad",)
+        assert report.missing == ("gone",)
+        assert report.stale == ("old",)
+        assert report.pending == 4
+        # The corrupt entry was deleted so it reads as a clean miss.
+        assert not cache._path("bad").exists()
+
+    def test_skipped_fates_never_validate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = validate_resume(self._manifest({"k": "skipped"}), ["k"], cache)
+        assert report.reusable == () and report.missing == ()
+
+    def test_backend_change_flags(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        manifest = self._manifest({})
+        assert not validate_resume(manifest, [], cache).backend_changed
+        manifest.backend_version -= 1
+        assert validate_resume(manifest, [], cache).backend_changed
+
+    def test_config_change_flags(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        manifest = self._manifest({})
+        assert not validate_resume(manifest, [], cache).config_changed
+        report = validate_resume(manifest, [], cache, argv=["cmd", "--seed", "9"])
+        assert report.config_changed
+        # Execution-flag drift does not count.
+        report = validate_resume(manifest, [], cache, argv=["cmd", "--jobs", "8"])
+        assert not report.config_changed
+
+    def test_report_lines_are_stderr_ready(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = validate_resume(self._manifest({}), [], cache)
+        assert all(line.startswith("[resume]") for line in report.lines())
+
+
+def test_default_runs_dir_is_hidden():
+    assert DEFAULT_RUNS_DIR.startswith(".")

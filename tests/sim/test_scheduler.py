@@ -277,3 +277,191 @@ class TestScheduledShardEquivalence:
         merge_shard_dirs([tmp_path / "s0", tmp_path / "s1"], tmp_path / "merged")
         merged = execute_plan(plan, cache=ResultCache(tmp_path / "merged"))
         assert [e.mean for e in merged] == [e.mean for e in serial]
+
+
+class TestRetry:
+    """Transient failures: bounded backoff resubmission, inline fallback."""
+
+    @staticmethod
+    def _policy(attempts=2, **kw):
+        from repro.sim.scheduler import RetryPolicy
+
+        slept = []
+        policy = RetryPolicy(attempts=attempts, sleep=slept.append, **kw)
+        return policy, slept
+
+    def test_transient_failure_is_retried(self):
+        from repro.sim.faults import FaultPlan
+
+        policy, slept = self._policy()
+        scheduler = Scheduler(
+            SerialExecutor(), max_inflight=2, retry=policy,
+            fault=FaultPlan(fail_job=2, fail_times=1),
+        )
+        for i in range(4):
+            scheduler.add(_job(i * 10), tag=i)
+        events = dict(scheduler.events())
+        assert events == {i: i * 10 for i in range(4)}
+        assert scheduler.retries == 1
+        assert scheduler.inline_fallbacks == 0
+        assert slept == [policy.delay(1)]
+
+    def test_backoff_sequence_then_inline_fallback(self):
+        from repro.sim.faults import FaultPlan
+
+        policy, slept = self._policy(attempts=3)
+        # Fails more times than the retry budget: the scheduler's last
+        # resort runs the original (unwrapped) job inline and succeeds.
+        scheduler = Scheduler(
+            SerialExecutor(), max_inflight=1, retry=policy,
+            fault=FaultPlan(fail_job=1, fail_times=10),
+        )
+        scheduler.add(_job(42), tag="only")
+        assert list(scheduler.events()) == [("only", 42)]
+        assert scheduler.retries == 3
+        assert scheduler.inline_fallbacks == 1
+        assert slept == [policy.delay(1), policy.delay(2), policy.delay(3)]
+        assert slept == sorted(slept)  # exponential: non-decreasing
+
+    def test_delay_is_capped(self):
+        from repro.sim.scheduler import RetryPolicy
+
+        policy = RetryPolicy(base_delay=1.0, backoff=10.0, max_delay=3.0)
+        assert policy.delay(1) == 1.0
+        assert policy.delay(5) == 3.0
+
+    def test_deterministic_error_is_never_retried(self):
+        policy, slept = self._policy()
+        scheduler = Scheduler(SerialExecutor(), max_inflight=2, retry=policy)
+        scheduler.add((_boom, (1,), {}), tag="bad")
+        with pytest.raises(ValueError, match="job 1 failed"):
+            list(scheduler.events())
+        assert scheduler.retries == 0 and slept == []
+
+    def test_retry_none_restores_fail_fast(self):
+        from repro.sim.faults import FaultPlan, TransientFault
+
+        scheduler = Scheduler(
+            SerialExecutor(), max_inflight=1, retry=None,
+            fault=FaultPlan(fail_job=1),
+        )
+        scheduler.add(_job(1), tag="a")
+        with pytest.raises(TransientFault):
+            list(scheduler.events())
+
+    def test_is_transient_taxonomy(self):
+        from concurrent.futures import CancelledError
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.sim.scheduler import is_transient
+
+        assert is_transient(OSError("io"))
+        assert is_transient(BrokenProcessPool("pool"))
+        assert is_transient(CancelledError())
+        assert not is_transient(ValueError("logic"))
+        assert not is_transient(SimulationError("domain"))
+
+    def test_retried_results_are_bit_identical(self):
+        """A retried sweep produces exactly the no-fault values."""
+        from repro.sim.faults import FaultPlan
+
+        model = build_model("Hera", 1)
+
+        def run(fault):
+            policy, _ = self._policy(attempts=5)
+            with SimulationPipeline(
+                executor=SerialExecutor(), retry=policy, fault=fault
+            ) as pipe:
+                points = [
+                    pipe.simulate_mean(model, 3600.0 + i, 700.0, SETTINGS)
+                    for i in range(4)
+                ]
+                pipe.resolve()
+                return [p.value for p in points]
+
+        clean = run(None)
+        faulty = run(FaultPlan(fail_job=2, fail_times=2))
+        assert faulty == clean
+
+
+class TestClaimLeases:
+    """Lease TTLs: stale claims from dead shards are reclaimed safely."""
+
+    @staticmethod
+    def _age(board: ClaimBoard, key: str, seconds: float) -> None:
+        import os
+        import time
+
+        path = board._path(key)
+        past = time.time() - seconds
+        os.utime(path, (past, past))
+
+    def test_fresh_foreign_claim_is_respected(self, tmp_path):
+        board = ClaimBoard(tmp_path, lease_ttl=60.0)
+        assert board.try_claim("k", "shard-0")
+        assert not board.try_claim("k", "shard-1")
+        assert board.reclaimed == 0
+
+    def test_stale_foreign_claim_is_reclaimed(self, tmp_path):
+        board = ClaimBoard(tmp_path, lease_ttl=60.0)
+        assert board.try_claim("k", "shard-0")
+        self._age(board, "k", 120.0)
+        assert board.try_claim("k", "shard-1")
+        assert board.owner_of("k") == "shard-1"
+        assert board.reclaimed == 1
+
+    def test_no_ttl_means_no_reclamation(self, tmp_path):
+        board = ClaimBoard(tmp_path)  # historical behaviour
+        assert board.try_claim("k", "shard-0")
+        self._age(board, "k", 10_000.0)
+        assert not board.try_claim("k", "shard-1")
+
+    def test_reclaim_renews_the_lease(self, tmp_path):
+        board = ClaimBoard(tmp_path, lease_ttl=60.0)
+        board.try_claim("k", "shard-0")
+        self._age(board, "k", 120.0)
+        board.try_claim("k", "shard-1")
+        assert board.age_of("k") < 60.0  # fresh again
+
+    def test_same_owner_reclaim_touches_lease(self, tmp_path):
+        board = ClaimBoard(tmp_path, lease_ttl=60.0)
+        board.try_claim("k", "shard-0")
+        self._age(board, "k", 50.0)
+        assert board.try_claim("k", "shard-0")  # renewal, not reclamation
+        assert board.age_of("k") < 50.0
+        assert board.reclaimed == 0
+
+    def test_age_of_unclaimed_is_none(self, tmp_path):
+        board = ClaimBoard(tmp_path, lease_ttl=60.0)
+        assert board.age_of("k") is None
+
+    def test_rejects_non_positive_ttl(self, tmp_path):
+        with pytest.raises(SimulationError):
+            ClaimBoard(tmp_path, lease_ttl=0.0)
+
+    def test_sharded_executor_threads_ttl(self, tmp_path):
+        executor = ShardedExecutor(
+            0, 2, mode="stealing", claim_dir=tmp_path, lease_ttl=45.0
+        )
+        assert executor.board.lease_ttl == 45.0
+
+    def test_make_executor_threads_claim_ttl(self, tmp_path):
+        from repro.sim.executors import make_executor
+
+        executor = make_executor(
+            1, 0, 2, shard_mode="stealing", claim_dir=tmp_path, claim_ttl=30.0
+        )
+        assert executor.board.lease_ttl == 30.0
+
+    def test_dead_shard_keys_are_drained_by_survivor(self, tmp_path):
+        """The leaked-claim scenario: a dead shard's keys get computed."""
+        keys = [f"key{i}" for i in range(6)]
+        board = ClaimBoard(tmp_path, lease_ttl=60.0)
+        for key in keys[:3]:
+            board.try_claim(key, "shard-0")  # shard-0 claims, then "dies"
+        for key in keys[:3]:
+            self._age(board, key, 300.0)
+        survivor = ClaimBoard(tmp_path, lease_ttl=60.0)
+        claimed = [key for key in keys if survivor.try_claim(key, "shard-1")]
+        assert claimed == keys  # every key, including the dead shard's
+        assert survivor.reclaimed == 3
