@@ -28,6 +28,7 @@ from .first_order import (
     case3_overhead,
     case4_overhead,
     optimal_pattern,
+    optimal_pattern_batch,
     optimal_period,
     overhead_at_optimal_period,
     theorem2_solution,
@@ -43,6 +44,8 @@ from .pattern import (
     expected_work_time,
     pattern_overhead,
     pattern_speedup,
+    stack_models,
+    take_model,
 )
 from .speedup import (
     AmdahlSpeedup,
@@ -91,11 +94,14 @@ __all__ = [
     "expected_work_time",
     "pattern_overhead",
     "pattern_speedup",
+    "stack_models",
+    "take_model",
     # first order
     "FirstOrderSolution",
     "optimal_period",
     "overhead_at_optimal_period",
     "optimal_pattern",
+    "optimal_pattern_batch",
     "theorem2_solution",
     "theorem3_solution",
     "case3_overhead",

@@ -74,11 +74,14 @@ class CheckpointCost:
     c: float = 0.0
 
     def __post_init__(self) -> None:
+        # Array-tolerant: the batch optimisers stack models into one
+        # whose coefficients are per-column arrays.
         for name in ("a", "b", "c"):
-            value = getattr(self, name)
-            if value < 0.0 or not np.isfinite(value):
+            value = np.asarray(getattr(self, name))
+            if np.any(value < 0.0) or not np.all(np.isfinite(value)):
                 raise InvalidParameterError(
-                    f"checkpoint coefficient {name} must be finite and >= 0, got {value!r}"
+                    f"checkpoint coefficient {name} must be finite and >= 0, "
+                    f"got {getattr(self, name)!r}"
                 )
 
     def __call__(self, P):
@@ -120,10 +123,11 @@ class VerificationCost:
 
     def __post_init__(self) -> None:
         for name in ("v", "u"):
-            value = getattr(self, name)
-            if value < 0.0 or not np.isfinite(value):
+            value = np.asarray(getattr(self, name))
+            if np.any(value < 0.0) or not np.all(np.isfinite(value)):
                 raise InvalidParameterError(
-                    f"verification coefficient {name} must be finite and >= 0, got {value!r}"
+                    f"verification coefficient {name} must be finite and >= 0, "
+                    f"got {getattr(self, name)!r}"
                 )
 
     def __call__(self, P):
@@ -172,7 +176,8 @@ class ResilienceCosts:
     recovery: CheckpointCost | None = None
 
     def __post_init__(self) -> None:
-        if self.downtime < 0.0 or not np.isfinite(self.downtime):
+        downtime = np.asarray(self.downtime)
+        if np.any(downtime < 0.0) or not np.all(np.isfinite(downtime)):
             raise InvalidParameterError(
                 f"downtime must be finite and >= 0, got {self.downtime!r}"
             )

@@ -60,11 +60,15 @@ class ErrorModel:
     fail_stop_fraction: float
 
     def __post_init__(self) -> None:
-        if self.lambda_ind < 0.0 or not np.isfinite(self.lambda_ind):
+        # Array-tolerant validation: the batch optimisers stack many
+        # models into one whose fields are per-column arrays.
+        lam = np.asarray(self.lambda_ind)
+        if np.any(lam < 0.0) or not np.all(np.isfinite(lam)):
             raise InvalidParameterError(
                 f"lambda_ind must be finite and >= 0, got {self.lambda_ind!r}"
             )
-        if not 0.0 <= self.fail_stop_fraction <= 1.0:
+        frac = np.asarray(self.fail_stop_fraction)
+        if np.any(frac < 0.0) or np.any(frac > 1.0) or np.any(np.isnan(frac)):
             raise InvalidParameterError(
                 f"fail-stop fraction f must be in [0, 1], got {self.fail_stop_fraction!r}"
             )

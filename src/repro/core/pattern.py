@@ -49,9 +49,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from .costs import ResilienceCosts
+from .costs import CheckpointCost, ResilienceCosts, VerificationCost
 from .errors import ErrorModel
-from .speedup import AmdahlSpeedup, SpeedupModel
+from .speedup import AmdahlSpeedup, GustafsonSpeedup, PowerLawSpeedup, SpeedupModel
 
 __all__ = [
     "expected_pattern_time",
@@ -62,6 +62,8 @@ __all__ = [
     "pattern_overhead",
     "pattern_speedup",
     "PatternModel",
+    "stack_models",
+    "take_model",
 ]
 
 
@@ -360,3 +362,134 @@ class PatternModel:
     def with_alpha(self, alpha: float) -> "PatternModel":
         """Copy with a different sequential fraction (Figure 4)."""
         return PatternModel(self.errors, self.costs, AmdahlSpeedup(alpha))
+
+
+# -- model stacking (batch optimisers) ----------------------------------------
+#
+# The batch optimisers evaluate many models at once by fusing them into
+# one :class:`PatternModel` whose leaf parameters are per-column numpy
+# arrays.  Every evaluator above is elementwise over its inputs, so a
+# stacked model's column ``i`` produces bit-identical values to
+# ``models[i]`` evaluated alone (numpy's elementwise ufuncs are
+# value-deterministic regardless of array length or element position).
+
+
+def _stack_field(models, getter, repeat) -> np.ndarray:
+    values = np.asarray([float(getter(m)) for m in models], dtype=float)
+    return np.repeat(values, repeat)
+
+
+def stack_models(models, repeat=1) -> PatternModel:
+    """Fuse scalar-parameter models into one array-parameter model.
+
+    ``repeat`` (an int, or one int per model) replicates every model's
+    parameters that many times in a row, so the stacked model lines up
+    with a column layout that gives each source model a contiguous
+    block of columns (the batch allocation optimiser assigns each model
+    a block of outer grid points).
+
+    Raises
+    ------
+    InvalidParameterError
+        When the models are structurally heterogeneous (different
+        speedup profiles, or recovery overridden on some models only) —
+        callers fall back to per-model evaluation there.
+    """
+    models = list(models)
+    if not models:
+        raise InvalidParameterError("stack_models needs at least one model")
+
+    speedup_type = type(models[0].speedup)
+    if any(type(m.speedup) is not speedup_type for m in models):
+        raise InvalidParameterError(
+            "cannot stack models with heterogeneous speedup profiles"
+        )
+    if speedup_type is AmdahlSpeedup:
+        speedup = AmdahlSpeedup(_stack_field(models, lambda m: m.speedup.alpha, repeat))
+    elif speedup_type is GustafsonSpeedup:
+        speedup = GustafsonSpeedup(_stack_field(models, lambda m: m.speedup.alpha, repeat))
+    elif speedup_type is PowerLawSpeedup:
+        speedup = PowerLawSpeedup(_stack_field(models, lambda m: m.speedup.gamma, repeat))
+    else:
+        raise InvalidParameterError(
+            f"cannot stack models with speedup profile {speedup_type.__name__}"
+        )
+
+    has_recovery = [m.costs.recovery is not None for m in models]
+    if any(has_recovery) and not all(has_recovery):
+        raise InvalidParameterError(
+            "cannot stack models where only some override the recovery cost"
+        )
+    recovery = (
+        CheckpointCost(
+            a=_stack_field(models, lambda m: m.costs.recovery.a, repeat),
+            b=_stack_field(models, lambda m: m.costs.recovery.b, repeat),
+            c=_stack_field(models, lambda m: m.costs.recovery.c, repeat),
+        )
+        if all(has_recovery)
+        else None
+    )
+    return PatternModel(
+        errors=ErrorModel(
+            lambda_ind=_stack_field(models, lambda m: m.errors.lambda_ind, repeat),
+            fail_stop_fraction=_stack_field(
+                models, lambda m: m.errors.fail_stop_fraction, repeat
+            ),
+        ),
+        costs=ResilienceCosts(
+            checkpoint=CheckpointCost(
+                a=_stack_field(models, lambda m: m.costs.checkpoint.a, repeat),
+                b=_stack_field(models, lambda m: m.costs.checkpoint.b, repeat),
+                c=_stack_field(models, lambda m: m.costs.checkpoint.c, repeat),
+            ),
+            verification=VerificationCost(
+                v=_stack_field(models, lambda m: m.costs.verification.v, repeat),
+                u=_stack_field(models, lambda m: m.costs.verification.u, repeat),
+            ),
+            downtime=_stack_field(models, lambda m: m.costs.downtime, repeat),
+            recovery=recovery,
+        ),
+        speedup=speedup,
+    )
+
+
+def _field_at(value, i: int) -> float:
+    return float(np.asarray(value).reshape(-1)[i]) if np.ndim(value) else float(value)
+
+
+def take_model(stacked: PatternModel, i: int) -> PatternModel:
+    """Extract column ``i`` of a stacked model as a scalar-parameter model."""
+    speedup = stacked.speedup
+    if isinstance(speedup, (AmdahlSpeedup, GustafsonSpeedup)):
+        speedup = type(speedup)(_field_at(speedup.alpha, i))
+    elif isinstance(speedup, PowerLawSpeedup):
+        speedup = PowerLawSpeedup(_field_at(speedup.gamma, i))
+    else:
+        raise InvalidParameterError(
+            f"cannot take a column from speedup profile {type(speedup).__name__}"
+        )
+    recovery = stacked.costs.recovery
+    if recovery is not None:
+        recovery = CheckpointCost(
+            a=_field_at(recovery.a, i), b=_field_at(recovery.b, i), c=_field_at(recovery.c, i)
+        )
+    return PatternModel(
+        errors=ErrorModel(
+            lambda_ind=_field_at(stacked.errors.lambda_ind, i),
+            fail_stop_fraction=_field_at(stacked.errors.fail_stop_fraction, i),
+        ),
+        costs=ResilienceCosts(
+            checkpoint=CheckpointCost(
+                a=_field_at(stacked.costs.checkpoint.a, i),
+                b=_field_at(stacked.costs.checkpoint.b, i),
+                c=_field_at(stacked.costs.checkpoint.c, i),
+            ),
+            verification=VerificationCost(
+                v=_field_at(stacked.costs.verification.v, i),
+                u=_field_at(stacked.costs.verification.u, i),
+            ),
+            downtime=_field_at(stacked.costs.downtime, i),
+            recovery=recovery,
+        ),
+        speedup=speedup,
+    )

@@ -86,7 +86,10 @@ class AmdahlSpeedup(SpeedupModel):
     alpha: float
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.alpha <= 1.0:
+        # Array-tolerant: the batch optimisers stack models into one
+        # whose alpha is a per-column array.
+        alpha = np.asarray(self.alpha)
+        if np.any(alpha < 0.0) or np.any(alpha > 1.0) or np.any(np.isnan(alpha)):
             raise InvalidParameterError(
                 f"sequential fraction alpha must be in [0, 1], got {self.alpha!r}"
             )
@@ -138,7 +141,8 @@ class GustafsonSpeedup(SpeedupModel):
     alpha: float
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.alpha <= 1.0:
+        alpha = np.asarray(self.alpha)
+        if np.any(alpha < 0.0) or np.any(alpha > 1.0) or np.any(np.isnan(alpha)):
             raise InvalidParameterError(
                 f"sequential fraction alpha must be in [0, 1], got {self.alpha!r}"
             )
@@ -171,7 +175,8 @@ class PowerLawSpeedup(SpeedupModel):
     gamma: float
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.gamma <= 1.0:
+        gamma = np.asarray(self.gamma)
+        if np.any(gamma <= 0.0) or np.any(gamma > 1.0) or np.any(np.isnan(gamma)):
             raise InvalidParameterError(f"gamma must be in (0, 1], got {self.gamma!r}")
 
     def speedup(self, P):

@@ -18,6 +18,7 @@ from . import (
     fig7_downtime,
 )
 from . import scenarios
+from .analytic import AnalyticMemo, AnalyticPoint, evaluate_analytic, model_key
 from .common import FigureResult, SimSettings, simulate_mean
 from .pipeline import Deferred, SimulationPipeline, materialize
 from .registry import REGISTRY, find_spec, get_spec
@@ -32,6 +33,10 @@ from .spec import (
 )
 
 __all__ = [
+    "AnalyticMemo",
+    "AnalyticPoint",
+    "evaluate_analytic",
+    "model_key",
     "FigureResult",
     "SimSettings",
     "simulate_mean",

@@ -40,9 +40,11 @@ sampled numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import SimulationError
+from .analytic import AnalyticMemo, evaluate_analytic
 from ..sim.executors import Executor, make_executor
 from ..sim.plan import (
     ResultCache,
@@ -199,6 +201,15 @@ class SimulationPipeline:
         self.max_inflight = max_inflight
         self.retry = retry
         self.fault = fault
+        #: Cross-replicate memo of analytic optima.  Always deduplicates
+        #: in memory; persists alongside the npz cache only when disk
+        #: caching is on, so ``--no-cache`` runs leave no state behind.
+        self.analytic_memo = AnalyticMemo(
+            Path(cache_dir) / "analytic_memo.json" if cache_dir is not None else None
+        )
+        #: Per-group analytic traffic (mirrors the sim counters of
+        #: :meth:`pending_report`): points computed vs memo-served.
+        self.analytic_counts: dict[str, dict[str, int]] = {}
         self._memo: dict[str, object] = {}
         self._pending: list[tuple] = []  # (kind, item, deferred, group)
         #: Label attached to subsequently declared points (the staging
@@ -264,6 +275,25 @@ class SimulationPipeline:
         self.points_submitted += 1
         return deferred
 
+    def evaluate_analytic(self, models) -> list:
+        """Analytic optima for a column of models, via the shared memo.
+
+        Batched counterpart of the per-cell ``optimal_pattern`` /
+        ``optimize_allocation`` calls the sweep evaluator used to make
+        inline (see :mod:`repro.experiments.analytic`); unlike the sim
+        columns the values come back immediately, not deferred.  The
+        served/computed split is attributed to :attr:`current_group`,
+        like sim declarations.
+        """
+        points, evaluated, served = evaluate_analytic(models, self.analytic_memo)
+        entry = self.analytic_counts.setdefault(
+            self.current_group if self.current_group is not None else "(ungrouped)",
+            {"evaluated": 0, "served": 0},
+        )
+        entry["evaluated"] += evaluated
+        entry["served"] += served
+        return points
+
     def pending_keys(self) -> list[str]:
         """Plan keys of the pending declarations (deduplicated, in order).
 
@@ -302,15 +332,18 @@ class SimulationPipeline:
         per-study rows can neither double-report nor drop hits.  Pure
         preview — pending points stay pending, and the cache's
         hit/miss accounting is untouched.
+
+        Each entry also carries ``analytic_evaluated`` /
+        ``analytic_served``: the group's analytic-engine traffic so far
+        (those points resolve at declare time, so unlike the sim
+        counters they describe work already done).  Groups that only
+        did analytic work (``--no-sim`` previews) get a row too.
         """
         report: dict[str, dict[str, int]] = {}
-        #: First-seen fate per plan key: ``True`` when the point will be
-        #: served without compute (memo/disk), ``False`` when its jobs
-        #: must run this round.
-        served: dict[str, bool] = {}
-        for kind, item, _, group in self._pending:
-            entry = report.setdefault(
-                group if group is not None else "(ungrouped)",
+
+        def _entry(group: str) -> dict[str, int]:
+            return report.setdefault(
+                group,
                 {
                     "points": 0,
                     "unique": 0,
@@ -318,8 +351,17 @@ class SimulationPipeline:
                     "cache_hits": 0,
                     "to_compute": 0,
                     "jobs": 0,
+                    "analytic_evaluated": 0,
+                    "analytic_served": 0,
                 },
             )
+
+        #: First-seen fate per plan key: ``True`` when the point will be
+        #: served without compute (memo/disk), ``False`` when its jobs
+        #: must run this round.
+        served: dict[str, bool] = {}
+        for kind, item, _, group in self._pending:
+            entry = _entry(group if group is not None else "(ungrouped)")
             entry["points"] += 1
             if kind == "request":
                 key = request_key(item)
@@ -344,6 +386,10 @@ class SimulationPipeline:
             served[key] = False
             entry["to_compute"] += 1
             entry["jobs"] += len(request_jobs(item)) if kind == "request" else 1
+        for group, counts in self.analytic_counts.items():
+            entry = _entry(group)
+            entry["analytic_evaluated"] = counts["evaluated"]
+            entry["analytic_served"] = counts["served"]
         return report
 
     # -- running it --------------------------------------------------------
@@ -491,6 +537,7 @@ class SimulationPipeline:
         return (self.cache.hits, self.cache.misses)
 
     def close(self) -> None:
+        self.analytic_memo.flush()
         self.executor.close()
 
     def __enter__(self) -> "SimulationPipeline":

@@ -50,6 +50,7 @@ from ..sim.manifest import (
 from ..sim.montecarlo import FAST, METHODS, PAPER, Fidelity
 from ..sim.plan import ResultCache
 from ..sim.rng import DEFAULT_SEED
+from .analytic import AnalyticMemo
 from .common import FigureResult, SimSettings
 from .pipeline import SimulationPipeline
 from .registry import REGISTRY, RUNNERS, find_spec, get_spec
@@ -379,13 +380,17 @@ def _print_dry_run(pipeline: SimulationPipeline, stream=None) -> None:
             f"[dry-run] {name}: {entry['points']} points "
             f"({entry['unique']} unique, {entry['deduped']} deduped), "
             f"{entry['cache_hits']} cache hits, "
-            f"{entry['to_compute']} to compute -> {entry['jobs']} chunk jobs",
+            f"{entry['to_compute']} to compute -> {entry['jobs']} chunk jobs; "
+            f"analytic {entry['analytic_evaluated']} evaluated, "
+            f"{entry['analytic_served']} memo-served",
             file=stream,
         )
     print(
         f"[dry-run] total: {totals['points']} points, "
         f"{totals['deduped']} deduped, {totals['cache_hits']} cache hits, "
-        f"{totals['to_compute']} to compute -> {totals['jobs']} chunk jobs "
+        f"{totals['to_compute']} to compute -> {totals['jobs']} chunk jobs; "
+        f"analytic {totals['analytic_evaluated']} evaluated, "
+        f"{totals['analytic_served']} memo-served "
         f"(nothing executed)",
         file=stream,
     )
@@ -890,6 +895,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"[cache] oldest {_format_age(now - stats['oldest_mtime'])}, "
                 f"newest {_format_age(now - stats['newest_mtime'])}"
             )
+        memo = AnalyticMemo(Path(args.cache_dir) / "analytic_memo.json")
+        print(
+            f"[analytic] {len(memo)} memo entries, "
+            f"{memo.served}/{memo.lookups} served "
+            f"(hit rate {memo.hit_rate:.2%})"
+        )
         return 0
     if args.cache_command == "ls":
         now = time.time()
@@ -1045,7 +1056,9 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
                 f"[scenario] {len(members)} members, {totals['points']} points: "
                 f"{totals['cache_hits']} cache-served, {totals['deduped']} "
                 f"deduped, {totals['to_compute']} to compute "
-                f"(dedup ratio {ratio:.2%})",
+                f"(dedup ratio {ratio:.2%}); analytic "
+                f"{totals['analytic_evaluated']} evaluated, "
+                f"{totals['analytic_served']} memo-served",
                 file=sys.stderr,
             )
         on_event = _chain_events(

@@ -41,6 +41,8 @@ from ..exceptions import InvalidParameterError, ValidityError
 from ..optimize.allocation import optimize_allocation
 from ..platforms.catalog import DEFAULT_ALPHA, DEFAULT_DOWNTIME, PLATFORM_NAMES
 from ..platforms.scenarios import SCENARIO_IDS, build_model
+from .analytic import AnalyticPoint
+from .analytic import batch_enabled as analytic_batch_enabled
 from .common import FigureResult, SimSettings
 from .pipeline import Deferred, SimulationPipeline, materialize, private_pipeline
 
@@ -199,41 +201,67 @@ class StudyContext:
 # -- generic evaluators ------------------------------------------------------
 
 
-def pattern_point(ctx: StudyContext, model, needed: Sequence[str]) -> dict:
+def pattern_point(
+    ctx: StudyContext, model, needed: Sequence[str], analytic=None
+) -> dict:
     """Default per-point evaluator: first-order + numerical optimum.
 
     Mirrors the historical figure loops exactly: the first-order closed
     form may be invalid (``None`` columns, no simulation declared), the
     numerical optimum always exists, and Monte-Carlo points are
     declared on the pipeline only for the sim columns a panel uses.
+
+    ``analytic`` carries the cell's pre-computed
+    :class:`~repro.experiments.analytic.AnalyticPoint` when the sweep
+    engine resolved the study column through the batch engine; without
+    it the evaluator computes the optima inline (custom ``point_eval``
+    hooks delegating here keep working unchanged).
     """
     out: dict[str, Any] = {}
-    try:
-        fo = optimal_pattern(model)
-    except ValidityError:
-        fo = None
-    out["P_fo"] = fo.processors if fo is not None else None
-    out["T_fo"] = fo.period if fo is not None else None
-    out["H_pred_fo"] = fo.overhead if fo is not None else None
-    num = optimize_allocation(model)
-    out["P_num"] = num.processors
-    out["T_num"] = num.period
-    out["H_pred_num"] = num.overhead
+    if analytic is None:
+        try:
+            fo = optimal_pattern(model)
+        except ValidityError:
+            fo = None
+        num = optimize_allocation(model)
+        analytic = AnalyticPoint(
+            P_fo=fo.processors if fo is not None else None,
+            T_fo=fo.period if fo is not None else None,
+            H_pred_fo=fo.overhead if fo is not None else None,
+            P_num=num.processors,
+            T_num=num.period,
+            H_pred_num=num.overhead,
+        )
+    out["P_fo"] = analytic.P_fo
+    out["T_fo"] = analytic.T_fo
+    out["H_pred_fo"] = analytic.H_pred_fo
+    out["P_num"] = analytic.P_num
+    out["T_num"] = analytic.T_num
+    out["H_pred_num"] = analytic.H_pred_num
     if "H_sim_fo" in needed:
         out["H_sim_fo"] = (
             ctx.pipeline.simulate_mean(model, out["T_fo"], out["P_fo"], ctx.settings)
-            if fo is not None
+            if analytic.P_fo is not None
             else None
         )
     if "H_sim_num" in needed:
         out["H_sim_num"] = ctx.pipeline.simulate_mean(
-            model, num.period, num.processors, ctx.settings
+            model, analytic.T_num, analytic.P_num, ctx.settings
         )
     return out
 
 
 def _sweep_declare(ctx: StudyContext) -> dict:
-    """Generic declare phase: evaluate every (x, scenario) grid cell."""
+    """Generic declare phase: evaluate every (x, scenario) grid cell.
+
+    Default-evaluator studies resolve their analytic columns through
+    the pipeline's batch engine first (one array sweep per study
+    column, memo-served across scenario-family replicates), then walk
+    the grid in the historical order so simulation declarations — and
+    therefore plan keys, seeds and progress events — are unchanged.
+    Custom ``point_eval`` / ``scenario_eval`` hooks keep the scalar
+    path.
+    """
     spec = ctx.spec
     needed = spec.needed_columns()
     evaluate = spec.point_eval if spec.point_eval is not None else pattern_point
@@ -251,12 +279,17 @@ def _sweep_declare(ctx: StudyContext) -> dict:
             store.setdefault(col, []).append(value)
 
     if spec.axis is None:
-        for sc in ctx.scenarios:
-            _store(sc, evaluate(ctx, ctx.build(sc), needed))
+        cells = [(sc, None) for sc in ctx.scenarios]
+    else:
+        cells = [(sc, x) for x in ctx.grid for sc in ctx.scenarios]
+    models = [ctx.build(sc, x) for sc, x in cells]
+    if evaluate is pattern_point and analytic_batch_enabled():
+        points = ctx.pipeline.evaluate_analytic(models)
+        for (sc, _), model, point in zip(cells, models, points):
+            _store(sc, pattern_point(ctx, model, needed, analytic=point))
         return data
-    for x in ctx.grid:
-        for sc in ctx.scenarios:
-            _store(sc, evaluate(ctx, ctx.build(sc, x), needed))
+    for (sc, _), model in zip(cells, models):
+        _store(sc, evaluate(ctx, model, needed))
     return data
 
 

@@ -16,9 +16,20 @@ provides those solvers:
     Alternating T/P fixed-point baseline (Jin et al. style).
 """
 
-from .allocation import AllocationResult, optimize_allocation
-from .grid import GridResult, log_grid, refine_log_minimum
-from .period import PeriodResult, optimize_period, optimize_period_batch
+from .allocation import AllocationResult, optimize_allocation, optimize_allocation_batch
+from .grid import (
+    BatchGridResult,
+    GridResult,
+    log_grid,
+    refine_log_minimum,
+    refine_log_minimum_batch,
+)
+from .period import (
+    PeriodResult,
+    optimize_period,
+    optimize_period_batch,
+    optimize_period_batch_grouped,
+)
 from .relaxation import RelaxationResult, relaxation_optimize
 from .scalar import ScalarResult, bracket_minimum, brent, golden_section, minimize_scalar
 
@@ -29,13 +40,17 @@ __all__ = [
     "brent",
     "minimize_scalar",
     "GridResult",
+    "BatchGridResult",
     "log_grid",
     "refine_log_minimum",
+    "refine_log_minimum_batch",
     "PeriodResult",
     "optimize_period",
     "optimize_period_batch",
+    "optimize_period_batch_grouped",
     "AllocationResult",
     "optimize_allocation",
+    "optimize_allocation_batch",
     "RelaxationResult",
     "relaxation_optimize",
 ]

@@ -28,11 +28,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.pattern import PatternModel
-from ..exceptions import OptimizationError
-from .period import optimize_period, optimize_period_batch
+from ..core.pattern import PatternModel, stack_models
+from ..exceptions import InvalidParameterError, OptimizationError
+from .grid import refine_log_minimum_batch
+from .period import optimize_period, optimize_period_batch, optimize_period_batch_grouped
 
-__all__ = ["AllocationResult", "optimize_allocation"]
+__all__ = ["AllocationResult", "optimize_allocation", "optimize_allocation_batch"]
 
 
 @dataclass(frozen=True)
@@ -159,3 +160,127 @@ def optimize_allocation(
         at_lower=at_lower,
         at_upper=at_upper,
     )
+
+
+def optimize_allocation_batch(
+    models,
+    p_min: float = 1.0,
+    p_max: float | None = None,
+    integer: bool = False,
+    points: int = 33,
+    rounds: int = 12,
+) -> list[AllocationResult]:
+    """Jointly optimise ``(T, P)`` for many models in one array sweep.
+
+    Batch counterpart of :func:`optimize_allocation`: the outer
+    processor zoom runs all models as columns of one
+    :func:`repro.optimize.grid.refine_log_minimum_batch` search, and the
+    inner period solves go through
+    :func:`repro.optimize.period.optimize_period_batch_grouped` — every
+    outer round is a single broadcast ``(T, P)`` overhead evaluation
+    over ``points * len(models)`` columns instead of a per-model Python
+    loop.  This is the figure sweeps' hot path: a whole grid column of
+    scenario models resolves per call.
+
+    Per model the returned :class:`AllocationResult` is bit-identical to
+    a scalar :func:`optimize_allocation` call with the same options: the
+    abscissa grids, overhead evaluations, best-so-far updates and break
+    rounds all replicate the scalar loop exactly (numpy's elementwise
+    kernels do not depend on array width), and converged models drop out
+    of later rounds without perturbing the rest.
+
+    Models whose parameters cannot be stacked into one array-parameter
+    model (heterogeneous speedup profile types, mixed recovery
+    overrides) transparently fall back to per-model scalar solves.
+    """
+    models = list(models)
+    if not models:
+        return []
+    p_maxs = np.empty(len(models))
+    for j, model in enumerate(models):
+        lam = model.errors.lambda_ind
+        if lam <= 0.0:
+            raise OptimizationError(
+                "error-free platform: enrol all processors, never checkpoint"
+            )
+        p_maxs[j] = p_max if p_max is not None else max(1e4, 100.0 / lam)
+        if not (0.0 < p_min < p_maxs[j]):
+            raise OptimizationError(f"invalid processor range [{p_min}, {p_maxs[j]}]")
+    if len(models) > 1:
+        try:
+            stack_models(models)
+        except InvalidParameterError:
+            return [
+                optimize_allocation(
+                    model, p_min=p_min, p_max=p_max, integer=integer,
+                    points=points, rounds=rounds,
+                )
+                for model in models
+            ]
+
+    def objective(xs: np.ndarray, idx: np.ndarray):
+        # xs is (points, k) for the k still-active models; flatten
+        # model-major so each model owns a contiguous column group of
+        # the grouped period solve.
+        k = idx.size
+        flat_P = xs.T.ravel()
+        Ts, Hs = optimize_period_batch_grouped(
+            [models[i] for i in idx], flat_P, np.full(k, points)
+        )
+        return Hs.reshape(k, points).T, Ts.reshape(k, points).T
+
+    result = refine_log_minimum_batch(
+        objective,
+        p_min,
+        p_maxs,
+        points=points,
+        rounds=rounds,
+        rtol=1e-10,
+        init_x=p_min,
+        require_finite=False,
+        track_aux=True,
+    )
+    # The scalar path flags edges with a 1e-6 tolerance (wider than the
+    # batch engine's rtol-based one); reproduce it from the argmins.
+    at_lower = result.x / p_min < 1.0 + 1e-6
+    at_upper = p_maxs / result.x < 1.0 + 1e-6
+
+    out: list[AllocationResult] = []
+    for j, model in enumerate(models):
+        # Inner grid budget: 17 * 14 overhead points per outer abscissa.
+        nfev = int(result.nfev[j]) * 17 * 14
+        best_P = float(result.x[j])
+        if integer:
+            candidates = sorted(
+                {max(1, int(np.floor(best_P))), max(1, int(np.ceil(best_P)))}
+            )
+            inner_results = [
+                (optimize_period(model, float(P)), P) for P in candidates
+            ]
+            nfev += sum(r.nfev for r, _ in inner_results)
+            inner, P_int = min(inner_results, key=lambda pair: pair[0].overhead)
+            out.append(
+                AllocationResult(
+                    processors=float(P_int),
+                    period=inner.period,
+                    overhead=inner.overhead,
+                    expected_time=inner.expected_time,
+                    nfev=nfev,
+                    at_lower=bool(at_lower[j]),
+                    at_upper=bool(at_upper[j]),
+                )
+            )
+            continue
+        best_T = float(result.aux[j])
+        out.append(
+            AllocationResult(
+                processors=best_P,
+                period=best_T,
+                overhead=float(result.fun[j]),
+                expected_time=float(model.expected_time(best_T, best_P)),
+                nfev=nfev,
+                at_lower=bool(at_lower[j]),
+                at_upper=bool(at_upper[j]),
+            )
+        )
+    return out

@@ -14,6 +14,17 @@ The zoom loop assumes unimodality on the searched interval (true for the
 overhead objective: parallelism gains vs. growing error rates produce a
 single interior optimum, or a monotone edge case which the caller
 detects via the boundary flags).
+
+:func:`refine_log_minimum_batch` is the engine: it zooms many columns at
+once (one objective call per round evaluates a ``(points, columns)``
+matrix) with per-column convergence masking, so every log-zoom in the
+package — the scalar :func:`refine_log_minimum`, the relaxation
+baseline's allocation half-step, and the outer loop of
+:func:`repro.optimize.allocation.optimize_allocation_batch` — shares one
+code path.  Per column the iteration order, break condition and best-so-
+far tracking replicate the historical scalar loop exactly, and numpy's
+elementwise kernels are value-deterministic regardless of array width,
+so batched columns are bit-identical to one-at-a-time solves.
 """
 
 from __future__ import annotations
@@ -25,7 +36,13 @@ import numpy as np
 
 from ..exceptions import OptimizationError
 
-__all__ = ["GridResult", "log_grid", "refine_log_minimum"]
+__all__ = [
+    "GridResult",
+    "BatchGridResult",
+    "log_grid",
+    "refine_log_minimum",
+    "refine_log_minimum_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -57,13 +74,155 @@ class GridResult:
         return not (self.at_lower or self.at_upper)
 
 
+@dataclass(frozen=True)
+class BatchGridResult:
+    """Per-column outcome of a batched zooming log-grid search.
+
+    Attributes
+    ----------
+    x, fun:
+        Per-column argmin estimates and objective values.
+    aux:
+        Per-column auxiliary payload captured at each column's best
+        point (``None`` unless the objective returned one) — the batch
+        allocation optimiser threads the inner optimal period through
+        this channel instead of re-solving it at the end.
+    nfev:
+        Per-column objective evaluations (``points`` per executed round).
+    rounds:
+        Zoom rounds each column executed before converging.
+    at_lower / at_upper:
+        Per-column boundary flags against the *original* interval.
+    """
+
+    x: np.ndarray
+    fun: np.ndarray
+    aux: np.ndarray | None
+    nfev: np.ndarray
+    rounds: np.ndarray
+    at_lower: np.ndarray
+    at_upper: np.ndarray
+
+
 def log_grid(lo: float, hi: float, points: int) -> np.ndarray:
-    """Geometrically spaced grid on ``[lo, hi]`` (inclusive)."""
-    if lo <= 0.0 or hi <= lo:
+    """Geometrically spaced grid on ``[lo, hi]`` (inclusive).
+
+    Vectorised over array ``lo``/``hi`` (columns of a batched zoom):
+    per column the values are bit-identical to a scalar call.
+    """
+    if np.any(np.asarray(lo) <= 0.0) or np.any(np.asarray(hi) <= np.asarray(lo)):
         raise OptimizationError(f"invalid log-grid range [{lo}, {hi}]")
     if points < 2:
         raise OptimizationError(f"need at least 2 grid points, got {points}")
     return np.logspace(np.log10(lo), np.log10(hi), points)
+
+
+def refine_log_minimum_batch(
+    f: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    lo,
+    hi,
+    points: int = 33,
+    rounds: int = 14,
+    rtol: float = 1e-10,
+    init_x=None,
+    require_finite: bool = True,
+    track_aux: bool = False,
+) -> BatchGridResult:
+    """Minimise a column-vectorised objective over per-column intervals.
+
+    Parameters
+    ----------
+    f:
+        Objective ``f(xs, idx)`` where ``xs`` is a ``(points, k)``
+        abscissa matrix for the ``k`` still-active columns and ``idx``
+        their original column indices; returns a matching value matrix
+        (or a ``(values, aux)`` pair when ``track_aux``).  Non-finite
+        values are treated as ``+inf``.  Converged columns are dropped
+        from subsequent calls, so expensive objectives never waste work
+        on frozen columns.
+    lo, hi:
+        Per-column search intervals (scalars broadcast to all columns).
+    init_x:
+        Per-column fallback argmin reported if a column's objective
+        never produces a finite value (the historical scalar loops
+        return the lower bound there).  Required when
+        ``require_finite`` is off; ignored otherwise because the first
+        round always improves on ``+inf``.
+    require_finite:
+        Raise :class:`OptimizationError` when any active column's round
+        evaluates non-finite everywhere (the scalar
+        :func:`refine_log_minimum` contract); with it off such columns
+        keep zooming and fall back to ``init_x``.
+    track_aux:
+        Capture the objective's auxiliary payload at each column's
+        best-so-far point.
+
+    Returns
+    -------
+    BatchGridResult
+        Per-column argmins, objective values, evaluation counts and
+        boundary flags against the original intervals.
+    """
+    lo = np.atleast_1d(np.asarray(lo, dtype=float)).copy()
+    hi = np.atleast_1d(np.asarray(hi, dtype=float)).copy()
+    if lo.shape != hi.shape:
+        lo, hi = np.broadcast_arrays(lo, hi)
+        lo, hi = lo.copy(), hi.copy()
+    n = lo.size
+    if init_x is None:
+        if not require_finite:
+            raise OptimizationError(
+                "refine_log_minimum_batch needs init_x when require_finite is off"
+            )
+        best_x = np.full(n, np.nan)
+    else:
+        best_x = np.broadcast_to(np.asarray(init_x, dtype=float), (n,)).astype(float)
+        best_x = best_x.copy()
+    orig_lo, orig_hi = lo.copy(), hi.copy()
+    best_f = np.full(n, np.inf)
+    best_aux = np.full(n, np.nan) if track_aux else None
+    nfev = np.zeros(n, dtype=int)
+    executed = np.zeros(n, dtype=int)
+    active = np.ones(n, dtype=bool)
+    for _ in range(rounds):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        xs = log_grid(lo[idx], hi[idx], points)
+        out = f(xs, idx)
+        fs, aux = out if track_aux else (out, None)
+        fs = np.where(np.isfinite(np.asarray(fs, dtype=float)), fs, np.inf)
+        nfev[idx] += points
+        executed[idx] += 1
+        finite_cols = np.any(np.isfinite(fs), axis=0)
+        if require_finite and not np.all(finite_cols):
+            raise OptimizationError("objective is non-finite over the whole grid")
+        i = np.argmin(fs, axis=0)
+        cols = np.arange(idx.size)
+        round_best = fs[i, cols]
+        better = round_best < best_f[idx]
+        upd = idx[better]
+        best_f[upd] = round_best[better]
+        best_x[upd] = xs[i[better], cols[better]]
+        if track_aux:
+            best_aux[upd] = np.asarray(aux)[i[better], cols[better]]
+        # Zoom between the neighbours of each column's best grid point.
+        lo_i = xs[np.maximum(i - 1, 0), cols]
+        hi_i = xs[np.minimum(i + 1, points - 1), cols]
+        done = hi_i / lo_i - 1.0 < rtol
+        lo[idx] = lo_i
+        hi[idx] = hi_i
+        active[idx[done]] = False
+    edge_tol = 1.0 + 10.0 * rtol
+    return BatchGridResult(
+        x=best_x,
+        fun=best_f,
+        aux=best_aux,
+        nfev=nfev,
+        rounds=executed,
+        at_lower=best_x / orig_lo < edge_tol,
+        at_upper=orig_hi / best_x < edge_tol,
+    )
 
 
 def refine_log_minimum(
@@ -75,6 +234,10 @@ def refine_log_minimum(
     rtol: float = 1e-10,
 ) -> GridResult:
     """Minimise a vectorised objective over ``[lo, hi]`` in log space.
+
+    Single-column front-end of :func:`refine_log_minimum_batch` (the
+    historical scalar entry point — identical iteration, break and
+    best-tracking semantics).
 
     Parameters
     ----------
@@ -97,28 +260,18 @@ def refine_log_minimum(
         With boundary flags when the optimum never left the original
         interval edges (monotone objective).
     """
-    nfev = 0
-    xs = log_grid(lo, hi, points)
-    orig_lo, orig_hi = lo, hi
-    best_x = xs[0]
-    best_f = np.inf
-    for _ in range(rounds):
-        fs = np.asarray(f(xs), dtype=float)
-        nfev += xs.size
-        fs = np.where(np.isfinite(fs), fs, np.inf)
-        if not np.any(np.isfinite(fs)):
-            raise OptimizationError("objective is non-finite over the whole grid")
-        i = int(np.argmin(fs))
-        if fs[i] < best_f:
-            best_f = float(fs[i])
-            best_x = float(xs[i])
-        # Zoom between the neighbours of the best grid point.
-        lo_i = xs[max(i - 1, 0)]
-        hi_i = xs[min(i + 1, xs.size - 1)]
-        if hi_i / lo_i - 1.0 < rtol:
-            break
-        xs = log_grid(lo_i, hi_i, points)
-    edge_tol = 1.0 + 10.0 * rtol
-    at_lower = best_x / orig_lo < edge_tol
-    at_upper = orig_hi / best_x < edge_tol
-    return GridResult(x=best_x, fun=best_f, nfev=nfev, at_lower=at_lower, at_upper=at_upper)
+    result = refine_log_minimum_batch(
+        lambda xs, idx: np.asarray(f(xs[:, 0]), dtype=float)[:, None],
+        lo,
+        hi,
+        points=points,
+        rounds=rounds,
+        rtol=rtol,
+    )
+    return GridResult(
+        x=float(result.x[0]),
+        fun=float(result.fun[0]),
+        nfev=int(result.nfev[0]),
+        at_lower=bool(result.at_lower[0]),
+        at_upper=bool(result.at_upper[0]),
+    )

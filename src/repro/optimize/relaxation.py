@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.pattern import PatternModel
 from ..exceptions import OptimizationError
+from .grid import refine_log_minimum_batch
 from .period import optimize_period
 
 __all__ = ["RelaxationResult", "relaxation_optimize"]
@@ -56,25 +57,28 @@ class RelaxationResult:
 def _optimize_p_for_fixed_t(
     model: PatternModel, T: float, p_min: float, p_max: float, points: int = 33, rounds: int = 10
 ) -> float:
-    """Log-space zoom over ``P`` with the period held fixed."""
-    lo, hi = p_min, p_max
-    best_P = lo
-    best_H = np.inf
-    for _ in range(rounds):
-        Ps = np.logspace(np.log10(lo), np.log10(hi), points)
+    """Log-space zoom over ``P`` with the period held fixed.
+
+    Thin wrapper over the shared batch zoom engine; allocation-style
+    monotone cases report the lower bound, matching the historical
+    private loop.
+    """
+
+    def objective(xs: np.ndarray, idx: np.ndarray) -> np.ndarray:
         with np.errstate(over="ignore", invalid="ignore"):
-            Hs = np.asarray(model.overhead(T, Ps), dtype=float)
-        Hs = np.where(np.isfinite(Hs), Hs, np.inf)
-        i = int(np.argmin(Hs))
-        if Hs[i] < best_H:
-            best_H = float(Hs[i])
-            best_P = float(Ps[i])
-        lo_new = Ps[max(i - 1, 0)]
-        hi_new = Ps[min(i + 1, points - 1)]
-        if hi_new / lo_new - 1.0 < 1e-9:
-            break
-        lo, hi = lo_new, hi_new
-    return best_P
+            return np.asarray(model.overhead(T, xs[:, 0]), dtype=float)[:, None]
+
+    result = refine_log_minimum_batch(
+        objective,
+        p_min,
+        p_max,
+        points=points,
+        rounds=rounds,
+        rtol=1e-9,
+        init_x=p_min,
+        require_finite=False,
+    )
+    return float(result.x[0])
 
 
 def relaxation_optimize(

@@ -1,0 +1,88 @@
+"""`optimal_pattern_batch` vs the scalar closed forms.
+
+The closed-form kernels themselves stay scalar (libm vs SIMD ``pow``
+differ in the last ulp), so the batch entry point only vectorises the
+regime *dispatch*; per model the numbers must be bit-identical to
+:func:`optimal_pattern` and ``None`` must appear exactly where the
+scalar call raises :class:`ValidityError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AmdahlSpeedup,
+    ErrorModel,
+    PatternModel,
+    PowerLawSpeedup,
+)
+from repro.core.first_order import optimal_pattern, optimal_pattern_batch
+from repro.exceptions import ValidityError
+from repro.platforms import build_model
+
+
+def scalar_or_none(model):
+    try:
+        return optimal_pattern(model)
+    except ValidityError:
+        return None
+
+
+class TestOptimalPatternBatch:
+    def test_platform_grid_bit_identical(self):
+        models = [
+            build_model("Hera", sc, alpha=alpha, lambda_ind=lam)
+            for sc in (1, 2, 3, 4, 5, 6)
+            for alpha in (1e-6, 1e-4, 1e-2)
+            for lam in (1e-7, 1e-5)
+        ]
+        batch = optimal_pattern_batch(models)
+        assert len(batch) == len(models)
+        for model, got in zip(models, batch):
+            want = scalar_or_none(model)
+            if want is None:
+                assert got is None
+                continue
+            assert got.processors == want.processors
+            assert got.period == want.period
+            assert got.overhead == want.overhead
+            assert got.theorem == want.theorem
+
+    def test_none_exactly_where_scalar_raises(self, hera_sc1, decaying_cost_model):
+        # alpha outside (0, 1), a decaying-cost regime (no closed form)
+        # and a non-Amdahl profile all invalidate the theorems; valid
+        # models in the same batch must still resolve.
+        alpha_zero = PatternModel(
+            errors=hera_sc1.errors, costs=hera_sc1.costs,
+            speedup=AmdahlSpeedup(0.0),
+        )
+        powerlaw = PatternModel(
+            errors=hera_sc1.errors, costs=hera_sc1.costs,
+            speedup=PowerLawSpeedup(0.9),
+        )
+        models = [alpha_zero, hera_sc1, decaying_cost_model, powerlaw]
+        batch = optimal_pattern_batch(models)
+        assert batch[0] is None
+        assert batch[1] is not None
+        assert batch[2] is None
+        assert batch[3] is None
+        with pytest.raises(ValidityError):
+            optimal_pattern(alpha_zero)
+        with pytest.raises(ValidityError):
+            optimal_pattern(decaying_cost_model)
+        with pytest.raises(ValidityError):
+            optimal_pattern(powerlaw)
+
+    def test_regime_fixtures(self, linear_cost_model, constant_cost_model):
+        got = optimal_pattern_batch([linear_cost_model, constant_cost_model])
+        assert got[0].theorem == "theorem-2"
+        assert got[1].theorem == "theorem-3"
+        for model, solution in zip((linear_cost_model, constant_cost_model), got):
+            want = optimal_pattern(model)
+            assert (solution.processors, solution.period, solution.overhead) == (
+                want.processors, want.period, want.overhead
+            )
+
+    def test_empty(self):
+        assert optimal_pattern_batch([]) == []

@@ -1,0 +1,174 @@
+"""The analytic batch engine's memo, keys and sweep integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    AmdahlSpeedup,
+    GustafsonSpeedup,
+    PatternModel,
+    stack_models,
+)
+from repro.experiments.analytic import (
+    ANALYTIC_VERSION,
+    AnalyticMemo,
+    AnalyticPoint,
+    batch_enabled,
+    evaluate_analytic,
+    model_key,
+)
+from repro.experiments.common import SimSettings
+from repro.experiments.pipeline import SimulationPipeline
+from repro.experiments.registry import REGISTRY
+from repro.experiments.runner import main
+from repro.experiments.spec import run_study
+from repro.platforms import build_model
+
+NO_SIM = SimSettings(simulate=False)
+
+
+class TestModelKey:
+    def test_equal_models_share_a_key(self):
+        a = build_model("Hera", 1)
+        b = build_model("Hera", 1)
+        assert model_key(a) == model_key(b)
+        assert isinstance(model_key(a), str)
+
+    def test_every_result_relevant_parameter_changes_the_key(self):
+        base = model_key(build_model("Hera", 1))
+        assert model_key(build_model("Hera", 2)) != base
+        assert model_key(build_model("Hera", 1, alpha=1e-5)) != base
+        assert model_key(build_model("Hera", 1, lambda_ind=1e-6)) != base
+        assert model_key(build_model("Hera", 1, downtime=600.0)) != base
+
+    def test_exotic_profiles_are_uncacheable(self):
+        hera = build_model("Hera", 1)
+        exotic = PatternModel(
+            errors=hera.errors, costs=hera.costs, speedup=GustafsonSpeedup(0.1)
+        )
+        assert model_key(exotic) is None
+
+    def test_array_valued_parameters_are_uncacheable(self):
+        stacked = stack_models([build_model("Hera", 1), build_model("Hera", 2)])
+        assert model_key(stacked) is None
+
+
+class TestAnalyticMemo:
+    def point(self, seed: float = 1.0) -> AnalyticPoint:
+        return AnalyticPoint(
+            P_fo=seed, T_fo=2 * seed, H_pred_fo=None,
+            P_num=3 * seed, T_num=4 * seed, H_pred_num=5 * seed,
+        )
+
+    def test_roundtrip_is_exact(self, tmp_path):
+        path = tmp_path / "memo.json"
+        memo = AnalyticMemo(path)
+        point = self.point(0.1)  # 0.1 is not exactly representable
+        memo.put("k", point)
+        memo.count(served=2, evaluated=1)
+        memo.flush()
+        reloaded = AnalyticMemo(path)
+        assert reloaded.get("k") == point
+        assert (reloaded.served, reloaded.evaluated) == (2, 1)
+        assert len(reloaded) == 1
+        assert reloaded.hit_rate == pytest.approx(2 / 3)
+
+    def test_version_guard_discards_stale_tables(self, tmp_path):
+        path = tmp_path / "memo.json"
+        path.write_text(json.dumps({
+            "version": ANALYTIC_VERSION + 1,
+            "served": 9, "evaluated": 9,
+            "entries": {"k": self.point().as_list()},
+        }))
+        memo = AnalyticMemo(path)
+        assert len(memo) == 0
+        assert memo.lookups == 0
+
+    def test_corrupt_file_is_tolerated(self, tmp_path):
+        path = tmp_path / "memo.json"
+        path.write_text("{not json")
+        memo = AnalyticMemo(path)
+        assert len(memo) == 0
+        memo.put("k", self.point())
+        memo.flush()
+        assert AnalyticMemo(path).get("k") == self.point()
+
+    def test_pathless_memo_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        memo = AnalyticMemo()
+        memo.put("k", self.point())
+        memo.flush()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_clean_flush_is_a_noop(self, tmp_path):
+        path = tmp_path / "memo.json"
+        memo = AnalyticMemo(path)
+        memo.flush()
+        assert not path.exists()
+
+
+class TestEvaluateAnalytic:
+    def test_intra_call_dedup(self):
+        model = build_model("Hera", 1)
+        memo = AnalyticMemo()
+        points, evaluated, served = evaluate_analytic([model, model, model], memo)
+        assert (evaluated, served) == (1, 2)
+        assert points[0] == points[1] == points[2]
+        assert (memo.evaluated, memo.served) == (1, 2)
+
+    def test_memo_serves_across_calls(self):
+        model = build_model("Hera", 1)
+        memo = AnalyticMemo()
+        first, _, _ = evaluate_analytic([model], memo)
+        again, evaluated, served = evaluate_analytic([model], memo)
+        assert (evaluated, served) == (0, 1)
+        assert again[0] == first[0]
+
+    def test_uncacheable_models_always_evaluate(self):
+        hera = build_model("Hera", 1)
+        exotic = PatternModel(
+            errors=hera.errors, costs=hera.costs, speedup=GustafsonSpeedup(0.1)
+        )
+        memo = AnalyticMemo()
+        _, evaluated, served = evaluate_analytic([exotic, exotic], memo)
+        assert (evaluated, served) == (2, 0)
+        assert len(memo) == 0
+
+    def test_counters_reach_pending_report(self):
+        models = [build_model("Hera", sc) for sc in (1, 2)]
+        with SimulationPipeline(jobs=1) as pipe:
+            pipe.current_group = "studyA"
+            pipe.evaluate_analytic(models)
+            pipe.evaluate_analytic(models)
+            report = pipe.pending_report()
+        assert report["studyA"]["analytic_evaluated"] == 2
+        assert report["studyA"]["analytic_served"] == 2
+
+
+class TestSweepEngineParity:
+    def test_batch_flag_defaults_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ANALYTIC_BATCH", raising=False)
+        assert batch_enabled()
+        monkeypatch.setenv("REPRO_ANALYTIC_BATCH", "0")
+        assert not batch_enabled()
+
+    def test_sweep_tables_identical_with_engine_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYTIC_BATCH", "1")
+        batch = run_study(REGISTRY["fig5"], settings=NO_SIM)
+        monkeypatch.setenv("REPRO_ANALYTIC_BATCH", "0")
+        scalar = run_study(REGISTRY["fig5"], settings=NO_SIM)
+        assert [r.table() for r in batch] == [r.table() for r in scalar]
+
+
+class TestCacheStatsCLI:
+    def test_reports_analytic_memo(self, tmp_path, capsys):
+        memo = AnalyticMemo(tmp_path / "analytic_memo.json")
+        memo.put("k", AnalyticPoint(None, None, None, 1.0, 2.0, 3.0))
+        memo.count(served=3, evaluated=1)
+        memo.flush()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[analytic] 1 memo entries, 3/4 served (hit rate 75.00%)" in out

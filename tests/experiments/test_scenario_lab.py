@@ -471,9 +471,11 @@ class TestPendingReportAccounting:
             self._stage_twice(pipe)
             report = pipe.pending_report()
         assert report["a"] == {"points": 54, "unique": 54, "deduped": 0,
-                               "cache_hits": 0, "to_compute": 54, "jobs": 54}
+                               "cache_hits": 0, "to_compute": 54, "jobs": 54,
+                               "analytic_evaluated": 27, "analytic_served": 0}
         assert report["b"] == {"points": 54, "unique": 0, "deduped": 54,
-                               "cache_hits": 0, "to_compute": 0, "jobs": 0}
+                               "cache_hits": 0, "to_compute": 0, "jobs": 0,
+                               "analytic_evaluated": 0, "analytic_served": 27}
 
     def test_warm_duplicates_count_as_cache_served_in_their_own_study(
         self, tmp_path

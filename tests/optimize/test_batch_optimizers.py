@@ -1,0 +1,225 @@
+"""Batched optimisers vs their scalar references — bit-level parity.
+
+The batch engine's contract is strict: per column it must reproduce the
+scalar search *exactly* (same abscissas, same best-so-far updates, same
+break rounds), because the figure goldens are pinned byte-for-byte.
+These tests drive randomized valid models through both code paths and
+compare every result field with exact float equality, plus the
+``{:.6g}`` rendering the table emitters apply.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AmdahlSpeedup,
+    CheckpointCost,
+    ErrorModel,
+    GustafsonSpeedup,
+    PatternModel,
+    ResilienceCosts,
+    VerificationCost,
+)
+from repro.optimize.allocation import optimize_allocation, optimize_allocation_batch
+from repro.optimize.grid import refine_log_minimum, refine_log_minimum_batch
+from repro.optimize.period import (
+    optimize_period_batch,
+    optimize_period_batch_grouped,
+)
+from repro.platforms import build_model
+
+FLOATFMT = "{:.6g}"  # the emitters' float rendering (FigureResult.table)
+
+
+def random_model(rng: np.random.Generator) -> PatternModel:
+    """One valid model drawn across the paper's parameter regimes."""
+    form = rng.choice(["constant", "linear", "scaling"])
+    if form == "constant":
+        checkpoint = CheckpointCost.constant(float(rng.uniform(60.0, 600.0)))
+    elif form == "linear":
+        checkpoint = CheckpointCost.linear(float(rng.uniform(0.1, 2.0)))
+    else:
+        checkpoint = CheckpointCost.scaling(float(rng.uniform(1e4, 1e6)))
+    return PatternModel(
+        errors=ErrorModel(
+            lambda_ind=float(10.0 ** rng.uniform(-9.0, -5.0)),
+            fail_stop_fraction=float(rng.choice([0.25, 0.5, 1.0])),
+        ),
+        costs=ResilienceCosts(
+            checkpoint=checkpoint,
+            verification=VerificationCost.constant(float(rng.uniform(5.0, 100.0))),
+            downtime=float(rng.uniform(0.0, 7200.0)),
+        ),
+        speedup=AmdahlSpeedup(float(rng.choice([0.0, 1e-6, 1e-4, 1e-2]))),
+    )
+
+
+def assert_results_identical(batch, scalar):
+    """Every AllocationResult field bit-identical (NaN-aware)."""
+    assert len(batch) == len(scalar)
+    for got, want in zip(batch, scalar):
+        for field in (
+            "processors",
+            "period",
+            "overhead",
+            "expected_time",
+            "nfev",
+            "at_lower",
+            "at_upper",
+        ):
+            g, w = getattr(got, field), getattr(want, field)
+            if isinstance(w, float) and math.isnan(w):
+                assert math.isnan(g), f"{field}: {g!r} != NaN"
+            else:
+                assert g == w, f"{field}: {g!r} != {w!r}"
+        # The emitters render floats through {:.6g}; identical bits
+        # imply identical bytes, but assert it anyway as the contract
+        # the goldens actually depend on.
+        for g, w in zip(
+            (got.processors, got.period, got.overhead),
+            (want.processors, want.period, want.overhead),
+        ):
+            assert FLOATFMT.format(g) == FLOATFMT.format(w)
+
+
+class TestAllocationBatchParity:
+    def test_randomized_models_bit_identical(self):
+        rng = np.random.default_rng(20160920)  # the paper's conference date
+        models = [random_model(rng) for _ in range(24)]
+        scalar = [optimize_allocation(m) for m in models]
+        batch = optimize_allocation_batch(models)
+        assert_results_identical(batch, scalar)
+
+    def test_platform_scenarios_bit_identical(self):
+        models = [build_model("Hera", sc) for sc in (1, 2, 3, 4, 5, 6)]
+        scalar = [optimize_allocation(m) for m in models]
+        batch = optimize_allocation_batch(models)
+        assert_results_identical(batch, scalar)
+
+    def test_edge_pinned_brackets(self, hera_sc1, hera_sc3):
+        # Hera's interior optimum sits near P ~ 200: a range entirely
+        # above it is monotone increasing (lower-pinned), one entirely
+        # below it monotone decreasing (upper-pinned).
+        scalar = [
+            optimize_allocation(hera_sc1, p_min=1e4),
+            optimize_allocation(hera_sc3, p_min=1e4),
+        ]
+        batch = optimize_allocation_batch([hera_sc1, hera_sc3], p_min=1e4)
+        assert_results_identical(batch, scalar)
+        assert scalar[0].at_lower and scalar[1].at_lower
+
+        scalar = [
+            optimize_allocation(hera_sc1, p_max=50.0),
+            optimize_allocation(hera_sc3, p_max=50.0),
+        ]
+        batch = optimize_allocation_batch([hera_sc1, hera_sc3], p_max=50.0)
+        assert_results_identical(batch, scalar)
+        assert scalar[0].at_upper and scalar[1].at_upper
+
+    def test_mixed_speedup_profiles_fall_back(self, hera_sc1):
+        # Heterogeneous profile types cannot stack; the batch entry
+        # point must still answer, via per-model scalar solves.
+        gustafson = PatternModel(
+            errors=hera_sc1.errors, costs=hera_sc1.costs,
+            speedup=GustafsonSpeedup(0.1),
+        )
+        models = [hera_sc1, gustafson]
+        scalar = [optimize_allocation(m) for m in models]
+        batch = optimize_allocation_batch(models)
+        assert_results_identical(batch, scalar)
+
+    def test_single_model_and_empty(self, hera_sc3):
+        assert_results_identical(
+            optimize_allocation_batch([hera_sc3]),
+            [optimize_allocation(hera_sc3)],
+        )
+        assert optimize_allocation_batch([]) == []
+
+    def test_integer_mode(self):
+        rng = np.random.default_rng(7)
+        models = [random_model(rng) for _ in range(6)]
+        scalar = [optimize_allocation(m, integer=True) for m in models]
+        batch = optimize_allocation_batch(models, integer=True)
+        assert_results_identical(batch, scalar)
+        assert all(r.processors == int(r.processors) for r in batch)
+
+
+class TestGroupedPeriodBatch:
+    def test_matches_per_model_batches(self):
+        rng = np.random.default_rng(42)
+        models = [random_model(rng) for _ in range(5)]
+        sizes = np.array([17, 9, 33, 1, 17])
+        Ps = [
+            np.logspace(1.0, 4.0 + j, size)
+            for j, (size, _) in enumerate(zip(sizes, models))
+        ]
+        want_T, want_H = [], []
+        for model, P in zip(models, Ps):
+            T, H = optimize_period_batch(model, P)
+            want_T.append(T)
+            want_H.append(H)
+        got_T, got_H = optimize_period_batch_grouped(
+            models, np.concatenate(Ps), sizes
+        )
+        np.testing.assert_array_equal(got_T, np.concatenate(want_T))
+        np.testing.assert_array_equal(got_H, np.concatenate(want_H))
+
+    def test_sizes_must_partition(self, hera_sc1):
+        with pytest.raises(Exception):
+            optimize_period_batch_grouped(
+                [hera_sc1], np.array([100.0, 200.0]), np.array([3])
+            )
+
+
+class TestRefineLogMinimumBatch:
+    def test_independent_columns_converge(self):
+        targets = np.array([3.0, 50.0, 700.0])
+
+        def objective(xs, idx):
+            return (np.log(xs) - np.log(targets[idx])) ** 2
+
+        result = refine_log_minimum_batch(objective, 1.0, np.full(3, 1e4))
+        np.testing.assert_allclose(result.x, targets, rtol=1e-8)
+        assert result.x.shape == (3,)
+        assert np.all(result.nfev > 0)
+        assert not result.at_lower.any()
+        assert not result.at_upper.any()
+
+    def test_scalar_wrapper_matches_batch(self):
+        def f_batch(xs, idx):
+            return (np.log(xs) - np.log(50.0)) ** 2
+
+        single = refine_log_minimum(lambda x: (np.log(x) - np.log(50.0)) ** 2, 1.0, 1e4)
+        batch = refine_log_minimum_batch(f_batch, 1.0, np.array([1e4]))
+        assert single.x == batch.x[0]
+        assert single.fun == batch.fun[0]
+        assert single.nfev == batch.nfev[0]
+
+    def test_monotone_objectives_flag_bounds(self):
+        def objective(xs, idx):
+            # column 0 decreasing (upper-pinned), column 1 increasing.
+            return np.where(idx == 0, -np.log(xs), np.log(xs))
+
+        result = refine_log_minimum_batch(objective, 1.0, np.array([1e4, 1e4]))
+        assert bool(result.at_upper[0]) and not bool(result.at_lower[0])
+        assert bool(result.at_lower[1]) and not bool(result.at_upper[1])
+
+    def test_all_infinite_column_keeps_init(self):
+        def objective(xs, idx):
+            out = np.full_like(xs, np.inf)
+            out[:, idx == 1] = (np.log(xs) - np.log(50.0))[:, idx == 1] ** 2
+            return out
+
+        result = refine_log_minimum_batch(
+            objective, 1.0, np.array([1e4, 1e4]),
+            init_x=1.0, require_finite=False,
+        )
+        # The doomed column stays at its init with an infinite value and
+        # must not perturb its healthy neighbour.
+        assert result.x[0] == 1.0
+        assert math.isinf(result.fun[0])
+        np.testing.assert_allclose(result.x[1], 50.0, rtol=1e-8)
