@@ -10,8 +10,15 @@ the paper's full 500x500 budget.
 
 from __future__ import annotations
 
+import datetime
+import json
+import os
+import platform
+import subprocess
+
 import pytest
 
+from repro._version import __version__
 from repro.experiments.common import SimSettings
 from repro.sim.montecarlo import PAPER, Fidelity
 
@@ -43,6 +50,61 @@ def sim_settings(request) -> SimSettings:
     if request.config.getoption("--paper-fidelity"):
         return SimSettings(fidelity=PAPER, seed=20160913)
     return SimSettings(fidelity=Fidelity(n_runs=30, n_patterns=60), seed=20160913)
+
+
+def _bench_metadata() -> dict:
+    """Provenance block stamped into every ``BENCH_*.json``.
+
+    Makes the perf trajectory across PRs attributable: which library
+    version, which commit, when and where each measurement ran.  The
+    git probe is fault-tolerant (exported tarballs, bare CI checkouts)
+    and degrades to ``"unknown"`` rather than failing a bench run.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        commit = ""
+    return {
+        "repro_version": __version__,
+        "git_commit": commit or "unknown",
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "hostname": platform.node() or "unknown",
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_writer():
+    """Write one ``BENCH_*.json`` with the shared metadata block.
+
+    Usage (one module-scoped autouse fixture per bench module)::
+
+        @pytest.fixture(scope="module", autouse=True)
+        def write_bench_json(bench_writer):
+            yield
+            bench_writer("REPRO_BENCH_FOO_JSON", "BENCH_foo.json", RESULTS)
+
+    The metadata is computed once per session, so every artifact of a
+    run carries the identical stamp.
+    """
+    meta = _bench_metadata()
+
+    def write(env_var: str, default_path: str, results: dict) -> None:
+        payload = dict(results)
+        payload["meta"] = meta
+        path = os.environ.get(env_var, default_path)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    return write
 
 
 def emit(results) -> None:

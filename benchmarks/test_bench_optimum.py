@@ -22,7 +22,6 @@ time, never bits.  Every measurement lands in ``BENCH_optimum.json``
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -52,12 +51,9 @@ RESULTS: dict[str, float | int | str] = {
 
 
 @pytest.fixture(scope="module", autouse=True)
-def write_bench_json():
+def write_bench_json(bench_writer):
     yield
-    path = os.environ.get("REPRO_BENCH_OPTIMUM_JSON", "BENCH_optimum.json")
-    with open(path, "w") as handle:
-        json.dump(RESULTS, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    bench_writer("REPRO_BENCH_OPTIMUM_JSON", "BENCH_optimum.json", RESULTS)
 
 
 def _family_pass() -> tuple[float, list[str], dict[str, int]]:

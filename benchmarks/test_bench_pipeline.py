@@ -20,7 +20,6 @@ noisy shared runners, mirroring ``test_bench_vectorized.py``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from contextlib import redirect_stdout
@@ -56,12 +55,9 @@ RESULTS: dict[str, float | int | str] = {
 
 
 @pytest.fixture(scope="module", autouse=True)
-def write_bench_json():
+def write_bench_json(bench_writer):
     yield
-    path = os.environ.get("REPRO_BENCH_PIPELINE_JSON", "BENCH_pipeline.json")
-    with open(path, "w") as handle:
-        json.dump(RESULTS, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    bench_writer("REPRO_BENCH_PIPELINE_JSON", "BENCH_pipeline.json", RESULTS)
 
 
 def _pool_available() -> bool:

@@ -19,7 +19,6 @@ lands in ``BENCH_scheduler.json`` (path overridable via
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -47,12 +46,9 @@ RESULTS: dict[str, float | int | str] = {
 
 
 @pytest.fixture(scope="module", autouse=True)
-def write_bench_json():
+def write_bench_json(bench_writer):
     yield
-    path = os.environ.get("REPRO_BENCH_SCHED_JSON", "BENCH_scheduler.json")
-    with open(path, "w") as handle:
-        json.dump(RESULTS, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    bench_writer("REPRO_BENCH_SCHED_JSON", "BENCH_scheduler.json", RESULTS)
 
 
 def _nap(args):

@@ -399,6 +399,7 @@ class SimulationPipeline:
         count: int | None = None,
         max_inflight: int | None = None,
         on_event: Callable[[PointEvent], None] | None = None,
+        on_round: Callable[[], object] | None = None,
     ) -> None:
         """Schedule pending points; deferreds fill as futures complete.
 
@@ -409,12 +410,36 @@ class SimulationPipeline:
         runner schedules *everything* in one round and relies on
         ``on_event`` firing per resolved declaration to stream output.
 
-        Memo/cache hits and unclaimed (foreign-shard) points resolve
-        before any job runs — the cache-serve short-circuit; computed
-        points resolve one by one as their last chunk job lands, in
-        completion order.  A job exception closes the executor (the
-        pool cancels whatever was still queued) before propagating.
+        ``on_round`` turns one resolve call into a *staging loop*:
+        callbacks (``on_event`` handlers, or ``on_round`` itself) may
+        declare **new** points mid-round — they join the next round,
+        deduplicating against everything already computed this
+        invocation through the in-memory memo and the disk cache.
+        After each round drains, ``on_round()`` is invoked (a safety
+        net for callers whose staging is driven by events that may not
+        fire, e.g. analytic-only studies); resolve keeps looping while
+        ``on_round()`` returns truthy ("I advanced something") or
+        points are pending.  Without ``on_round`` the behaviour is the
+        single-round one, unchanged.
         """
+        self._resolve_round(count, max_inflight, on_event)
+        if on_round is None:
+            return
+        while True:
+            progressed = bool(on_round())
+            if self._pending:
+                self._resolve_round(None, max_inflight, on_event)
+                continue
+            if not progressed:
+                return
+
+    def _resolve_round(
+        self,
+        count: int | None = None,
+        max_inflight: int | None = None,
+        on_event: Callable[[PointEvent], None] | None = None,
+    ) -> None:
+        """One scheduling round over the currently-pending points."""
         if not self._pending:
             return
         if count is None:

@@ -26,6 +26,9 @@ fuses shard outputs into a result cache.
 from __future__ import annotations
 
 import argparse
+import csv
+import dataclasses
+import json
 import re
 import sys
 import time
@@ -260,6 +263,7 @@ def _resolve_and_emit(
     emitter: StreamingEmitter | None,
     collect: list | None = None,
     on_event: Callable | None = None,
+    on_round: Callable | None = None,
 ) -> None:
     """Resolve every staged study in one event-driven round.
 
@@ -281,7 +285,7 @@ def _resolve_and_emit(
         if emitter is not None:
             emitter.on_event(event)
 
-    pipeline.resolve(on_event=_on_point)
+    pipeline.resolve(on_event=_on_point, on_round=on_round)
     if emitter is not None:
         emitter.drain()
     elif collect is not None:
@@ -290,14 +294,20 @@ def _resolve_and_emit(
 
 
 def _progress_printer(staged: Sequence, stream=None) -> Callable:
-    """Per-study progress lines (stderr) as the scheduler resolves points."""
+    """Per-study progress lines (stderr) as the scheduler resolves points.
+
+    ``staged`` is read live on every event, not snapshotted: adaptive
+    runs keep appending newly staged waves to it mid-round, and the
+    denominator has to track them.  (For fixed runs the sequence never
+    grows, so the recomputation changes nothing.)
+    """
     stream = stream if stream is not None else sys.stderr
-    totals: dict[str, int] = defaultdict(int)
-    for stage in staged:
-        totals[stage.group] += stage.n_pending
     tallies: dict[str, Counter] = defaultdict(Counter)
 
     def on_event(event) -> None:
+        totals: dict[str, int] = defaultdict(int)
+        for stage in staged:
+            totals[stage.group] += stage.n_pending
         group = event.group if event.group is not None else "?"
         tally = tallies[group]
         tally[event.status] += 1
@@ -331,13 +341,17 @@ def _recorder_from_args(
     args: argparse.Namespace,
     argv: Sequence[str],
     pipeline: SimulationPipeline,
+    pre_validate: Callable | None = None,
 ) -> RunRecorder | None:
     """The durable-run journal implied by ``--run-id``/``--resume``.
 
     Must be called *after* staging (a resume validates the manifest
-    against the pipeline's pending plan keys).  All reporting goes to
-    stderr, keeping the table bytes on stdout identical to an
-    unjournaled run.
+    against the pipeline's pending plan keys).  ``pre_validate`` runs
+    between loading a resumed manifest and the validation pass — the
+    adaptive engine uses it to replay journaled waves onto the
+    pipeline, so the resumed plan covers every key of the original
+    run.  All reporting goes to stderr, keeping the table bytes on
+    stdout identical to an unjournaled run.
     """
     run_id = getattr(args, "run_id", None)
     resume = getattr(args, "resume", False)
@@ -358,6 +372,8 @@ def _recorder_from_args(
             print(f"[run] journaling to {recorder.path}", file=sys.stderr)
             return recorder
         recorder = RunRecorder.resume(runs_dir, run_id, argv)
+        if pre_validate is not None:
+            pre_validate(recorder.manifest)
     except ReproError as exc:
         raise SystemExit(str(exc)) from None
     report = validate_resume(
@@ -567,6 +583,38 @@ def _add_scenario_sim_options(sub: argparse.ArgumentParser) -> None:
         seed_default=None,
         seed_help="override the scenario file's master seed",
     )
+    adaptive = sub.add_argument_group(
+        "adaptive replicates",
+        "stage replicates in waves and stop per grid row once its band "
+        "width stabilizes, instead of simulating a fixed count "
+        "(defaults shown; a scenario file's [adaptive] table overrides "
+        "them, these flags override the file)",
+    )
+    adaptive.add_argument(
+        "--adaptive", action="store_true",
+        help="enable adaptive replicate scheduling",
+    )
+    adaptive.add_argument(
+        "--min-replicates", type=int, default=None, metavar="N",
+        help="replicates per variant in the initial wave (default 3)",
+    )
+    adaptive.add_argument(
+        "--max-replicates", type=int, default=None, metavar="N",
+        help="hard replicate ceiling per variant (default 12)",
+    )
+    adaptive.add_argument(
+        "--wave", type=int, default=None, metavar="N",
+        help="replicates per follow-up wave (default 2)",
+    )
+    adaptive.add_argument(
+        "--band-tol", type=float, default=None, metavar="TOL",
+        help="a grid row converges once its relative band width moves "
+        "by <= TOL between waves (default 0.05)",
+    )
+    adaptive.add_argument(
+        "--stable-waves", type=int, default=None, metavar="K",
+        help="consecutive quiet waves required to converge (default 2)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -737,6 +785,12 @@ def build_parser() -> argparse.ArgumentParser:
     scen_agg.add_argument("results", metavar="DIR")
     scen_agg.add_argument("--csv", default=None, metavar="DIR",
                           help="also dump the band tables as CSV")
+    scen_agg.add_argument(
+        "--format", choices=("text", "json", "csv"), default="text",
+        help="output format: rendered tables (text, default), one JSON "
+        "document of every band table (json), or tidy "
+        "figure/row/column/value CSV on stdout (csv)",
+    )
     scen_rep = scen_sub.add_parser(
         "report",
         help="run and aggregate in one go, streaming each family's band "
@@ -986,9 +1040,80 @@ def _scenario_manifest_rows(members) -> list[tuple]:
     return rows
 
 
+def _machine_readable_bands(results: Sequence[FigureResult], fmt: str) -> None:
+    """``scenario aggregate --format json|csv``: band tables on stdout.
+
+    ``json`` emits one document with every table's full payload (the
+    shape of a ``scenario run`` member file, so the same loaders
+    apply); ``csv`` emits tidy ``figure,row,column,value`` records —
+    one per data cell — which spreadsheet/dataframe tooling ingests
+    without per-table headers.
+    """
+    if fmt == "json":
+        payload = [
+            {
+                "figure_id": result.figure_id,
+                "title": result.title,
+                "columns": list(result.columns),
+                "rows": [list(row) for row in result.rows],
+                "notes": list(result.notes),
+            }
+            for result in results
+        ]
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return
+    writer = csv.writer(sys.stdout)
+    writer.writerow(("figure", "row", "column", "value"))
+    for result in results:
+        for row in result.rows:
+            for j, column in enumerate(result.columns[1:], start=1):
+                value = row[j]
+                writer.writerow(
+                    (result.figure_id, row[0], column,
+                     "" if value is None else value)
+                )
+
+
+def _adaptive_policy_from_args(args: argparse.Namespace, sset):
+    """Resolve adaptive mode: CLI flags over the file's ``[adaptive]``.
+
+    Returns the effective
+    :class:`~repro.experiments.scenarios.adaptive.AdaptivePolicy`, or
+    ``None`` when adaptive mode is off (the byte-identical fixed path).
+    """
+    from .scenarios import AdaptivePolicy
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("min_replicates", args.min_replicates),
+            ("max_replicates", args.max_replicates),
+            ("wave", args.wave),
+            ("band_tol", args.band_tol),
+            ("stable_waves", args.stable_waves),
+        )
+        if value is not None
+    }
+    if not (args.adaptive or sset.adaptive_enabled):
+        if overrides:
+            raise SystemExit(
+                "--min-replicates/--max-replicates/--wave/--band-tol/"
+                "--stable-waves need --adaptive (or an enabled [adaptive] "
+                "table in the scenario file)"
+            )
+        return None
+    base = sset.adaptive if sset.adaptive is not None else AdaptivePolicy()
+    try:
+        return dataclasses.replace(base, **overrides) if overrides else base
+    except InvalidParameterError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
     from ..io.bands import BandedEmitter
     from .scenarios import (
+        AdaptiveRun,
         aggregate_results,
         load_member_results,
         load_scenario_toml,
@@ -1001,6 +1126,9 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
             results = aggregate_results(manifest, families)
         except InvalidParameterError as exc:
             raise SystemExit(str(exc)) from None
+        if args.format != "text":
+            _machine_readable_bands(results, args.format)
+            return 0
         emitter = BandedEmitter(csv_dir=args.csv)
         emitter.emit_results(results)
         return 0
@@ -1027,22 +1155,41 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
     # run | report: one shared pipeline, one event-driven round.
     if args.scenario_command == "run" and not args.dry_run and args.out is None:
         raise SystemExit("scenario run requires --out DIR (or use --dry-run)")
+    policy = _adaptive_policy_from_args(args, sset)
     settings = _settings_from_args(args)
     started = time.perf_counter()
     with _pipeline_from_args(args) as pipeline:
+        run = None
         try:
             # Staging builds every member's perturbed models; a jitter
             # draw can leave the model's domain (e.g. an additive draw
             # pushing lambda_ind negative) — fail with the message, not
             # a traceback.
-            families = sset.stage(pipeline, settings, members=members)
+            if policy is not None:
+                run = AdaptiveRun(
+                    sset, policy, pipeline, settings, progress=args.progress
+                )
+                families = run.stage_initial()
+                staged = run.staged_studies
+            else:
+                families = sset.stage(pipeline, settings, members=members)
+                staged = [
+                    stage for family in families for stage in family.staged
+                ]
         except InvalidParameterError as exc:
             raise SystemExit(f"{args.file}: {exc}") from None
-        staged = [stage for family in families for stage in family.staged]
         if args.dry_run:
+            # Adaptive dry runs preview wave 0 only: later waves are
+            # decisions, not plans, until the data exists.
             _print_dry_run(pipeline)
             return 0
-        recorder = _recorder_from_args(args, argv, pipeline)
+        recorder = _recorder_from_args(
+            args, argv, pipeline,
+            pre_validate=run.replay if run is not None else None,
+        )
+        if run is not None:
+            run.attach_recorder(recorder)
+        n_members = len(members) if run is None else run.n_members
         if args.progress:
             # The planned-work preview costs a plan key per point and a
             # disk probe per unique key, so compute it only when the
@@ -1053,7 +1200,7 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
             free = totals["cache_hits"] + totals["deduped"]
             ratio = free / totals["points"] if totals["points"] else 0.0
             print(
-                f"[scenario] {len(members)} members, {totals['points']} points: "
+                f"[scenario] {n_members} members, {totals['points']} points: "
                 f"{totals['cache_hits']} cache-served, {totals['deduped']} "
                 f"deduped, {totals['to_compute']} to compute "
                 f"(dedup ratio {ratio:.2%}); analytic "
@@ -1064,15 +1211,30 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
         on_event = _chain_events(
             recorder.on_event if recorder is not None else None,
             _progress_printer(staged) if args.progress else None,
+            run.on_event if run is not None else None,
         )
+        on_round = run.on_round if run is not None else None
         if args.scenario_command == "report":
             emitter = BandedEmitter(csv_dir=args.csv)
-            _resolve_and_emit(families, pipeline, emitter=emitter, on_event=on_event)
+            _resolve_and_emit(
+                families, pipeline, emitter=emitter, on_event=on_event,
+                on_round=on_round,
+            )
+            if run is not None:
+                run.finalize()
         else:
-            pipeline.resolve(on_event=on_event)
-            path = write_member_results(args.out, sset, families)
+            pipeline.resolve(on_event=on_event, on_round=on_round)
+            if run is not None:
+                run.finalize()
+                path = write_member_results(
+                    args.out, sset, families, band=run.band,
+                    adaptive=run.journal,
+                )
+            else:
+                path = write_member_results(args.out, sset, families)
             print(
-                f"[scenario] wrote {len(members)} member result files -> {path.parent}",
+                f"[scenario] wrote {run.n_members if run is not None else len(members)} "
+                f"member result files -> {path.parent}",
                 file=sys.stderr,
             )
         if recorder is not None:

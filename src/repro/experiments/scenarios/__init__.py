@@ -16,7 +16,15 @@ see ``examples/scenario_jitter.toml``), driven by
 ``repro-experiments scenario generate|run|aggregate|report``.
 """
 
-from .aggregate import OPTIMUM_COLUMNS, BandSpec, band_tables
+from .adaptive import AdaptiveFamily, AdaptivePolicy, AdaptiveRun
+from .aggregate import (
+    OPTIMUM_COLUMNS,
+    BandSpec,
+    FamilyAccumulator,
+    adaptive_notes,
+    band_tables,
+    relative_width,
+)
 from .scenario_set import (
     ScenarioFamily,
     ScenarioMember,
@@ -38,12 +46,19 @@ from .transforms import (
     Variant,
     derive_variants,
     replicate_seed,
+    split_replicates,
 )
 
 __all__ = [
+    "AdaptiveFamily",
+    "AdaptivePolicy",
+    "AdaptiveRun",
     "BandSpec",
+    "FamilyAccumulator",
     "OPTIMUM_COLUMNS",
+    "adaptive_notes",
     "band_tables",
+    "relative_width",
     "ScenarioSet",
     "ScenarioFamily",
     "ScenarioMember",
@@ -59,6 +74,7 @@ __all__ = [
     "Variant",
     "derive_variants",
     "replicate_seed",
+    "split_replicates",
     "PERTURB_AXES",
     "PERTURB_MODES",
     "DISTRIBUTIONS",

@@ -36,7 +36,7 @@ from ...sim.rng import DEFAULT_SEED
 from ..common import FigureResult, SimSettings
 from ..pipeline import SimulationPipeline
 from ..spec import StagedStudy, StudySpec, stage_study
-from .aggregate import BandSpec, band_tables
+from .aggregate import BandSpec, FamilyAccumulator, adaptive_notes, band_tables
 from .transforms import GridTransform, Perturbation, Variant, derive_variants
 
 __all__ = [
@@ -170,6 +170,13 @@ class ScenarioSet:
         transform overrides it per variant.
     band:
         Quantile pair and flip tolerance of the aggregation layer.
+    adaptive:
+        Optional
+        :class:`~repro.experiments.scenarios.adaptive.AdaptivePolicy`
+        declared by the scenario file's ``[adaptive]`` table.  The set
+        itself stays fixed-path; the policy is picked up by the CLI
+        (``--adaptive`` or ``adaptive_enabled``) to drive an
+        :class:`~repro.experiments.scenarios.adaptive.AdaptiveRun`.
     """
 
     def __init__(
@@ -180,6 +187,7 @@ class ScenarioSet:
         master_seed: int = DEFAULT_SEED,
         platform: str | None = None,
         band: BandSpec = BandSpec(),
+        adaptive=None,
     ):
         if spec.declare is not None:
             raise InvalidParameterError(
@@ -193,6 +201,10 @@ class ScenarioSet:
         self.platform = platform if platform is not None else spec.platforms[0]
         get_platform(self.platform)  # validate early
         self.band = band
+        self.adaptive = adaptive
+        #: Whether the scenario file asks for adaptive mode by default
+        #: (``[adaptive] enabled``); the CLI flag overrides.
+        self.adaptive_enabled = adaptive is not None
 
     # -- derivation --------------------------------------------------------
 
@@ -303,48 +315,70 @@ def _figure_from_payload(payload: dict) -> FigureResult:
 
 
 def write_member_results(
-    directory: str | Path, sset: ScenarioSet, families: Sequence[ScenarioFamily]
+    directory: str | Path,
+    sset: ScenarioSet,
+    families: Sequence,
+    band: BandSpec | None = None,
+    adaptive: dict | None = None,
 ) -> Path:
     """Persist every member's tables (JSON floats round-trip exactly).
 
     Layout: one ``manifest.json`` naming the set, band parameters and
     members, plus one ``member_<i>.json`` per member — the input of
     ``repro-experiments scenario aggregate``.
+
+    ``families`` may also be
+    :class:`~repro.experiments.scenarios.adaptive.AdaptiveFamily`
+    objects: partial members then record the grid ``rows`` they cover,
+    ``band`` overrides the set's band (the adaptive run forces the
+    consistency column on), and ``adaptive`` stores the run's journal
+    so ``scenario aggregate`` reproduces the adaptive report
+    byte-identically.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    band = band if band is not None else sset.band
+    band_payload = {
+        "q_lo": band.q_lo,
+        "q_hi": band.q_hi,
+        "flip_tolerance": band.flip_tolerance,
+    }
+    if band.consistency:
+        band_payload["consistency"] = True
     manifest: dict = {
         "scenario_set": sset.name,
         "study": sset.spec.name,
         "master_seed": sset.master_seed,
-        "band": {
-            "q_lo": sset.band.q_lo,
-            "q_hi": sset.band.q_hi,
-            "flip_tolerance": sset.band.flip_tolerance,
-        },
+        "band": band_payload,
         "panel_columns": [list(panel.columns) for panel in sset.spec.panels],
         "provenance": list(sset.provenance()),
         "families": [],
     }
+    if adaptive:
+        manifest["adaptive"] = adaptive
     index = 0
     for family in families:
         entry = {"label": family.label, "members": []}
-        for member, tables in zip(family.members, family.member_results()):
+        rows_list = (
+            family.member_rows()
+            if hasattr(family, "member_rows")
+            else [None] * len(family.members)
+        )
+        for member, rows, tables in zip(
+            family.members, rows_list, family.member_results()
+        ):
             name = f"member_{index:03d}.json"
-            (directory / name).write_text(
-                json.dumps(
-                    {
-                        "name": member.name,
-                        "platform": member.platform,
-                        "label": member.label,
-                        "replicate": member.replicate,
-                        "seed": member.seed,
-                        "figures": [_figure_payload(t) for t in tables],
-                    },
-                    indent=2,
-                )
-                + "\n"
-            )
+            payload = {
+                "name": member.name,
+                "platform": member.platform,
+                "label": member.label,
+                "replicate": member.replicate,
+                "seed": member.seed,
+                "figures": [_figure_payload(t) for t in tables],
+            }
+            if rows is not None:
+                payload["rows"] = list(rows)
+            (directory / name).write_text(json.dumps(payload, indent=2) + "\n")
             entry["members"].append({"name": member.name, "file": name})
             index += 1
         manifest["families"].append(entry)
@@ -390,7 +424,14 @@ def load_member_results(directory: str | Path) -> tuple[dict, list[dict]]:
 
 
 def aggregate_results(manifest: dict, families: list[dict]) -> list[FigureResult]:
-    """Band every family of a loaded result directory."""
+    """Band every family of a loaded result directory.
+
+    Fixed-path directories reduce through :func:`band_tables`; adaptive
+    directories (an ``adaptive`` journal in the manifest, per-member
+    ``rows`` coverage) replay through the
+    :class:`~repro.experiments.scenarios.aggregate.FamilyAccumulator`,
+    reproducing the live adaptive report byte-identically.
+    """
     band_payload = manifest.get("band", {})
     try:
         band = BandSpec(**band_payload)
@@ -402,14 +443,36 @@ def aggregate_results(manifest: dict, families: list[dict]) -> list[FigureResult
     panel_columns = tuple(
         tuple(cols) for cols in manifest.get("panel_columns", ())
     ) or None
+    adaptive = manifest.get("adaptive")
+    provenance = tuple(manifest.get("provenance", ()))
     out = []
     for family in families:
-        out.extend(
-            band_tables(
-                [m["figures"] for m in family["members"]],
-                band=band,
-                panel_columns=panel_columns,
-                provenance=tuple(manifest.get("provenance", ())),
+        if adaptive:
+            try:
+                journal = adaptive["families"][family["label"]]
+                notes = adaptive_notes(adaptive["policy"], journal["summary"])
+            except (KeyError, TypeError) as exc:
+                raise InvalidParameterError(
+                    f"malformed adaptive journal for family "
+                    f"{family['label']!r} in the scenario manifest: {exc!r}"
+                ) from exc
+            accum = FamilyAccumulator(
+                band=band, panel_columns=panel_columns, provenance=provenance
             )
-        )
+            for member in family["members"]:
+                rows = member.get("rows")
+                accum.add_member(
+                    member["figures"],
+                    rows=tuple(rows) if rows is not None else None,
+                )
+            out.extend(accum.finish(extra_notes=notes))
+        else:
+            out.extend(
+                band_tables(
+                    [m["figures"] for m in family["members"]],
+                    band=band,
+                    panel_columns=panel_columns,
+                    provenance=provenance,
+                )
+            )
     return out

@@ -21,6 +21,15 @@ The file format (see ``examples/scenario_jitter.toml``)::
     [aggregate]               # optional
     quantiles = [0.05, 0.95]
     flip_tolerance = 0.05
+    consistency = false       # per-row CARVE consistency score column
+
+    [adaptive]                # optional: adaptive replicate scheduling
+    enabled = true            # default when the table is present
+    min_replicates = 3        # wave-0 batch
+    max_replicates = 12       # hard replicate ceiling
+    wave = 2                  # replicates per follow-up wave
+    band_tol = 0.05           # relative band-width delta threshold
+    stable_waves = 2          # consecutive quiet waves to converge
 
 Every validation failure raises
 :class:`~repro.exceptions.InvalidParameterError` with the file path and
@@ -37,6 +46,7 @@ from ...exceptions import InvalidParameterError
 from ...platforms.catalog import PLATFORM_NAMES
 from ...sim.rng import DEFAULT_SEED
 from ..registry import find_spec
+from .adaptive import AdaptivePolicy
 from .aggregate import BandSpec
 from .scenario_set import ScenarioSet
 from .transforms import Jitter, PlatformProduct, Resample
@@ -80,6 +90,53 @@ def _jitter_from_table(path: Path, i: int, table: dict) -> Jitter:
         raise _fail(path, f"transform {i} (jitter): {exc}") from exc
     except InvalidParameterError as exc:
         raise _fail(path, f"transform {i}: {exc}") from None
+
+
+_ADAPTIVE_KEYS = {
+    "enabled", "min_replicates", "max_replicates", "wave", "band_tol",
+    "stable_waves",
+}
+
+_ADAPTIVE_CONVERSIONS = (
+    ("min_replicates", int),
+    ("max_replicates", int),
+    ("wave", int),
+    ("band_tol", float),
+    ("stable_waves", int),
+)
+
+
+def _adaptive_from_table(path: Path, payload: dict):
+    """Parse the optional ``[adaptive]`` table into (policy, enabled).
+
+    The table enables adaptive mode unless it says ``enabled = false``
+    (then it only supplies defaults for the ``--adaptive`` CLI flag).
+    """
+    table = payload.get("adaptive")
+    if table is None:
+        return None, False
+    if not isinstance(table, dict):
+        raise _fail(path, "[adaptive] must be a table")
+    unknown = set(table) - _ADAPTIVE_KEYS
+    if unknown:
+        raise _fail(
+            path,
+            f"[adaptive] has unknown keys: {', '.join(sorted(unknown))}",
+        )
+    enabled = table.get("enabled", True)
+    if not isinstance(enabled, bool):
+        raise _fail(path, "[adaptive] enabled must be a boolean")
+    kwargs = {}
+    try:
+        for key, convert in _ADAPTIVE_CONVERSIONS:
+            if key in table:
+                kwargs[key] = convert(table[key])
+        policy = AdaptivePolicy(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise _fail(path, f"[adaptive]: {exc}") from exc
+    except InvalidParameterError as exc:
+        raise _fail(path, f"[adaptive]: {exc}") from None
+    return policy, enabled
 
 
 def load_scenario_toml(
@@ -195,25 +252,34 @@ def load_scenario_toml(
     quantiles = agg.get("quantiles", (0.05, 0.95))
     if not isinstance(quantiles, (list, tuple)) or len(quantiles) != 2:
         raise _fail(path, "[aggregate] quantiles must be a [lo, hi] pair")
+    consistency = agg.get("consistency", False)
+    if not isinstance(consistency, bool):
+        raise _fail(path, "[aggregate] consistency must be a boolean")
     try:
         band = BandSpec(
             q_lo=float(quantiles[0]),
             q_hi=float(quantiles[1]),
             flip_tolerance=float(agg.get("flip_tolerance", 0.05)),
+            consistency=consistency,
         )
     except (TypeError, ValueError) as exc:
         raise _fail(path, f"[aggregate]: {exc}") from exc
     except InvalidParameterError as exc:
         raise _fail(path, f"[aggregate]: {exc}") from None
 
+    adaptive_policy, adaptive_enabled = _adaptive_from_table(path, payload)
+
     try:
-        return ScenarioSet(
+        sset = ScenarioSet(
             name=name,
             spec=spec,
             transforms=transforms,
             master_seed=int(master_seed),
             platform=platform,
             band=band,
+            adaptive=adaptive_policy,
         )
     except InvalidParameterError as exc:
         raise _fail(path, str(exc)) from None
+    sset.adaptive_enabled = adaptive_enabled
+    return sset

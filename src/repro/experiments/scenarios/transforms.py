@@ -50,6 +50,7 @@ __all__ = [
     "PlatformProduct",
     "derive_variants",
     "replicate_seed",
+    "split_replicates",
 ]
 
 #: Model axes a perturbation may move: exactly the ``build_model``
@@ -316,3 +317,35 @@ def derive_variants(
         tag = f"{i}:{type(transform).__name__}:{getattr(transform, 'axis', '')}"
         variants = transform.expand(variants, master_seed, tag)
     return variants
+
+
+def split_replicates(
+    transforms: Sequence[GridTransform],
+) -> tuple[tuple[GridTransform, ...], int]:
+    """Split a chain into (non-resample transforms, replicate count).
+
+    The adaptive engine draws replicates lazily in waves, so it treats
+    the replicate axis as the *outermost* loop regardless of where the
+    chain declares it: the remaining transforms derive the per-wave
+    variant skeleton, and each wave crosses it with a contiguous
+    replicate range.  Replicate ``r`` keeps the exact seeds of the
+    fixed path (``None``/master for 0, :func:`replicate_seed`
+    otherwise), so replicate-0 points still dedup against plain runs.
+
+    Returns the count declared by the chain's single ``Resample`` (1
+    when none is present — the adaptive policy then raises the ceiling
+    itself).  Multiple resamples are refused, matching the TOML loader.
+    """
+    rest: list[GridTransform] = []
+    count: int | None = None
+    for transform in transforms:
+        if isinstance(transform, Resample):
+            if count is not None:
+                raise InvalidParameterError(
+                    "adaptive replicate scheduling needs at most one "
+                    "resample transform in the chain"
+                )
+            count = transform.replicates
+        else:
+            rest.append(transform)
+    return tuple(rest), (1 if count is None else count)

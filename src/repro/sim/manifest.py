@@ -135,6 +135,12 @@ class RunManifest:
     #: zero-duplicate-work acceptance check.
     reused: int = 0
     recomputed: int = 0
+    #: Adaptive-replicate decision journal (``{"policy": ...,
+    #: "families": {label: {"waves": [...], "converged": ...}}}``) —
+    #: every wave the engine staged and every per-row stopping
+    #: decision, so a resume replays them verbatim instead of
+    #: re-deriving convergence.  Empty for fixed-replicate runs.
+    adaptive: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.config:
@@ -147,7 +153,7 @@ class RunManifest:
         return out
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "format": MANIFEST_FORMAT,
             "run_id": self.run_id,
             "argv": list(self.argv),
@@ -159,6 +165,11 @@ class RunManifest:
             "recomputed": self.recomputed,
             "fates": self.fates,
         }
+        # Only adaptive runs carry the journal; fixed-replicate
+        # manifests keep their historical shape byte-for-byte.
+        if self.adaptive:
+            out["adaptive"] = self.adaptive
+        return out
 
     @classmethod
     def from_json(cls, data: dict) -> "RunManifest":
@@ -177,6 +188,7 @@ class RunManifest:
             fates=dict(data.get("fates", {})),
             reused=data.get("reused", 0),
             recomputed=data.get("recomputed", 0),
+            adaptive=dict(data.get("adaptive", {})),
         )
 
     @classmethod
@@ -261,6 +273,17 @@ class RunRecorder:
             self.manifest.reused += 1
         if first or event.status == "computed":
             self.write()
+
+    def record_adaptive(self, journal: dict) -> None:
+        """Journal the adaptive engine's staging/stopping decisions.
+
+        Called the moment a wave is *staged* (before any of its points
+        resolve) and after each convergence evaluation, so a crash at
+        any instant leaves every decision taken so far on disk — a
+        resume replays the journal instead of re-deriving convergence.
+        """
+        self.manifest.adaptive = journal
+        self.write()
 
     def finish(self, status: str = "complete") -> None:
         self.manifest.status = status

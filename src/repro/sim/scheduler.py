@@ -126,7 +126,10 @@ class Scheduler:
     an opaque tag; :meth:`events` drives the dispatch loop and yields
     ``(tag, result)`` per completion.  The scheduler owns no processes
     — lifecycle stays with the executor — and is reusable: new jobs
-    may be added between (not during) :meth:`events` drains.
+    may be added between drains *or* by the consumer while a drain is
+    yielding (the loop re-reads the queue after every event, so
+    mid-drain additions join the same drain's window — the hook the
+    adaptive replicate engine's incremental staging relies on).
 
     ``retry`` (default :class:`RetryPolicy`) bounds how hard transient
     failures are retried before the run gives up; ``retry=None``

@@ -179,3 +179,43 @@ class TestDeferredSemantics:
             )
             assert pipe.points_submitted == 0
         assert results[0].column("H_optimal_sim") == [None]
+
+
+class TestOnRoundStagingLoop:
+    """resolve(on_round=...) keeps scheduling while staging continues."""
+
+    def test_on_round_stages_into_the_same_resolve_call(self):
+        model = build_model("Hera", 1)
+        with SimulationPipeline(jobs=1) as pipe:
+            first = pipe.simulate_mean(model, 6000.0, 256.0, SETTINGS)
+            staged = []
+
+            def on_round():
+                if not first.ready:
+                    return False
+                if not staged:
+                    staged.append(
+                        pipe.simulate_mean(model, 4000.0, 512.0, SETTINGS)
+                    )
+                    return True
+                return False  # second round done: stop the loop
+
+            pipe.resolve(on_round=on_round)
+        assert first.ready and staged[0].ready
+        assert staged[0].value == simulate_mean(model, 4000.0, 512.0, SETTINGS)
+
+    def test_on_round_safety_net_runs_without_pending_points(self):
+        """Cache-/analytic-served rounds fire no events; on_round still
+        gets its say, and a falsy return ends the loop."""
+        calls = []
+        with SimulationPipeline(jobs=1) as pipe:
+            pipe.resolve(on_round=lambda: calls.append(1) and False)
+        assert calls == [1]
+
+    def test_without_on_round_single_round_behaviour_is_unchanged(self):
+        model = build_model("Hera", 1)
+        with SimulationPipeline(jobs=1) as pipe:
+            d = pipe.simulate_mean(model, 6000.0, 256.0, SETTINGS)
+            pipe.resolve()
+            late = pipe.simulate_mean(model, 4000.0, 512.0, SETTINGS)
+        assert d.ready and not late.ready

@@ -190,3 +190,28 @@ class TestValidateResume:
 
 def test_default_runs_dir_is_hidden():
     assert DEFAULT_RUNS_DIR.startswith(".")
+
+
+class TestAdaptiveJournal:
+    JOURNAL = {
+        "policy": {"min_replicates": 3, "max_replicates": 12, "wave": 2,
+                   "band_tol": 0.05, "stable_waves": 2},
+        "families": {"f[Hera]": {"waves": [{"start": 0, "stop": 3,
+                                            "rows": None}],
+                                 "converged": {"0": 1},
+                                 "summary": {"n_rows": 9}}},
+    }
+
+    def test_round_trips_through_json(self, tmp_path):
+        manifest = RunManifest(run_id="r1", argv=("scenario", "run"))
+        path = manifest_path(tmp_path, "r1")
+        recorder = RunRecorder(path, manifest)
+        recorder.record_adaptive(self.JOURNAL)
+        assert RunManifest.load(path).adaptive == self.JOURNAL
+
+    def test_fixed_runs_stay_free_of_the_key(self, tmp_path):
+        manifest = RunManifest(run_id="r1", argv=("fig5",))
+        path = manifest_path(tmp_path, "r1")
+        RunRecorder(path, manifest)
+        assert "adaptive" not in json.loads(path.read_text())
+        assert RunManifest.load(path).adaptive == {}

@@ -152,6 +152,25 @@ class TestSchedulerLoop:
         assert list(scheduler.events()) == [("b", 2)]
         assert scheduler.pending == 0 and scheduler.outstanding == 0
 
+    def test_add_during_a_drain_joins_the_same_drain(self):
+        """The consumer may stage jobs while events() is yielding.
+
+        The loop re-reads the queue after every event, so mid-drain
+        additions run in the same drain — the hook the adaptive
+        replicate engine's incremental wave staging relies on.
+        """
+        scheduler = Scheduler(SerialExecutor(), max_inflight=2)
+        scheduler.add(_job(1), tag="a")
+        seen = []
+        for tag, result in scheduler.events():
+            seen.append((tag, result))
+            if tag == "a":
+                scheduler.add(_job(2), tag="b")
+            if tag == "b":
+                scheduler.add(_job(3), tag="c")
+        assert seen == [("a", 1), ("b", 2), ("c", 3)]
+        assert scheduler.pending == 0 and scheduler.outstanding == 0
+
 
 class TestInterleavingDeterminism:
     """Out-of-order completion must not change a single byte."""
