@@ -1,3 +1,3 @@
 """Version information for :mod:`repro`."""
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"

@@ -44,6 +44,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import SimulationError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACE
 from .analytic import AnalyticMemo, evaluate_analytic
 from ..sim.executors import Executor, make_executor
 from ..sim.plan import (
@@ -185,6 +187,14 @@ class SimulationPipeline:
     fault:
         A deterministic :class:`~repro.sim.faults.FaultPlan` threaded
         into every scheduling round (dev/test harness).
+    trace:
+        A :class:`~repro.obs.trace.TraceWriter` journaling this
+        invocation's span/point events (``--trace``), or ``None`` for
+        the zero-overhead null writer.
+    metrics:
+        The invocation's :class:`~repro.obs.metrics.MetricsRegistry`;
+        a private registry is created when none is passed, so the
+        per-study counters always exist.
     """
 
     def __init__(
@@ -195,9 +205,15 @@ class SimulationPipeline:
         max_inflight: int | None = None,
         retry="default",
         fault=None,
+        trace=None,
+        metrics=None,
     ):
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.executor = executor if executor is not None else make_executor(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if self.cache is not None:
+            self.cache.bind_obs(self.trace, self.metrics)
         self.max_inflight = max_inflight
         self.retry = retry
         self.fault = fault
@@ -218,6 +234,8 @@ class SimulationPipeline:
         self.points_submitted = 0
         self.points_computed = 0
         self.points_skipped = 0
+        #: Scheduling rounds resolved so far (trace round numbering).
+        self._rounds = 0
 
     @property
     def pool(self):
@@ -286,12 +304,20 @@ class SimulationPipeline:
         like sim declarations.
         """
         points, evaluated, served = evaluate_analytic(models, self.analytic_memo)
+        label = self.current_group if self.current_group is not None else "(ungrouped)"
         entry = self.analytic_counts.setdefault(
-            self.current_group if self.current_group is not None else "(ungrouped)",
-            {"evaluated": 0, "served": 0},
+            label, {"evaluated": 0, "served": 0}
         )
         entry["evaluated"] += evaluated
         entry["served"] += served
+        self.metrics.counter("analytic", study=label, kind="evaluated").inc(evaluated)
+        self.metrics.counter("analytic", study=label, kind="served").inc(served)
+        if self.trace.enabled:
+            self.trace.event(
+                "analytic_batch", study=label, evaluated=evaluated, served=served
+            )
+            if served:
+                self.trace.event("memo_serve", study=label, count=served)
         return points
 
     def pending_keys(self) -> list[str]:
@@ -338,23 +364,34 @@ class SimulationPipeline:
         (those points resolve at declare time, so unlike the sim
         counters they describe work already done).  Groups that only
         did analytic work (``--no-sim`` previews) get a row too.
-        """
-        report: dict[str, dict[str, int]] = {}
 
-        def _entry(group: str) -> dict[str, int]:
-            return report.setdefault(
-                group,
-                {
-                    "points": 0,
-                    "unique": 0,
-                    "deduped": 0,
-                    "cache_hits": 0,
-                    "to_compute": 0,
-                    "jobs": 0,
-                    "analytic_evaluated": 0,
-                    "analytic_served": 0,
-                },
-            )
+        The preview flows through the invocation's metrics registry
+        (``plan{study,field}`` counters, refreshed on every call) —
+        the returned dict is assembled *from* the registry, so dry-run
+        consumers may read either surface.
+        """
+        fields = (
+            "points",
+            "unique",
+            "deduped",
+            "cache_hits",
+            "to_compute",
+            "jobs",
+            "analytic_evaluated",
+            "analytic_served",
+        )
+        self.metrics.clear("plan")
+        entries: dict[str, dict] = {}
+
+        def _entry(group: str) -> dict:
+            entry = entries.get(group)
+            if entry is None:
+                entry = {
+                    f: self.metrics.counter("plan", study=group, field=f)
+                    for f in fields
+                }
+                entries[group] = entry
+            return entry
 
         #: First-seen fate per plan key: ``True`` when the point will be
         #: served without compute (memo/disk), ``False`` when its jobs
@@ -362,7 +399,7 @@ class SimulationPipeline:
         served: dict[str, bool] = {}
         for kind, item, _, group in self._pending:
             entry = _entry(group if group is not None else "(ungrouped)")
-            entry["points"] += 1
+            entry["points"].inc()
             if kind == "request":
                 key = request_key(item)
             else:
@@ -372,24 +409,27 @@ class SimulationPipeline:
                 # A later declaration of an already-classified key: it
                 # shares its representative's fate, whichever study
                 # staged that representative.
-                entry["cache_hits" if served[key] else "deduped"] += 1
+                entry["cache_hits" if served[key] else "deduped"].inc()
                 continue
             if key in self._memo:
                 served[key] = True
-                entry["cache_hits"] += 1
+                entry["cache_hits"].inc()
                 continue
-            entry["unique"] += 1
+            entry["unique"].inc()
             if self.cache is not None and self.cache.contains(key):
                 served[key] = True
-                entry["cache_hits"] += 1
+                entry["cache_hits"].inc()
                 continue
             served[key] = False
-            entry["to_compute"] += 1
-            entry["jobs"] += len(request_jobs(item)) if kind == "request" else 1
+            entry["to_compute"].inc()
+            entry["jobs"].inc(len(request_jobs(item)) if kind == "request" else 1)
         for group, counts in self.analytic_counts.items():
             entry = _entry(group)
-            entry["analytic_evaluated"] = counts["evaluated"]
-            entry["analytic_served"] = counts["served"]
+            entry["analytic_evaluated"].inc(counts["evaluated"])
+            entry["analytic_served"].inc(counts["served"])
+        report: dict[str, dict[str, int]] = {}
+        for labels, metric in self.metrics.labeled("plan"):
+            report.setdefault(labels["study"], {})[labels["field"]] = metric.value
         return report
 
     # -- running it --------------------------------------------------------
@@ -442,6 +482,8 @@ class SimulationPipeline:
         """One scheduling round over the currently-pending points."""
         if not self._pending:
             return
+        self._rounds += 1
+        round_no = self._rounds
         if count is None:
             pending, self._pending = self._pending, []
         else:
@@ -476,7 +518,14 @@ class SimulationPipeline:
             for deferred, group in decls:
                 if status == "skipped":
                     self.points_skipped += 1
+                self.metrics.counter(
+                    "points",
+                    study=group if group is not None else "(ungrouped)",
+                    status=status,
+                ).inc()
                 deferred._set(value)
+                if self.trace.enabled:
+                    self.trace.event("point", study=group, status=status, key=key)
                 if on_event is not None:
                     on_event(PointEvent(group=group, status=status, key=key))
 
@@ -513,6 +562,15 @@ class SimulationPipeline:
             else:
                 deliver(decls, estimate.mean, "served", plan.keys[i])
 
+        if self.trace.enabled:
+            self.trace.event(
+                "plan",
+                round=round_no,
+                points=len(pending),
+                unique=len(plan.keys) + len(call_items),
+                jobs=len(tagged_jobs) + len(call_jobs),
+            )
+
         # Event-driven dispatch: one global in-flight window over the
         # executor; each point resolves the moment its last chunk lands.
         scheduler = Scheduler(
@@ -520,32 +578,37 @@ class SimulationPipeline:
             max_inflight if max_inflight is not None else self.max_inflight,
             retry=RetryPolicy() if self.retry == "default" else self.retry,
             fault=self.fault,
+            trace=self.trace,
+            metrics=self.metrics,
         )
         for job, tag in tagged_jobs:
             scheduler.add(job, tag)
         for key, item in call_jobs:
             scheduler.add(item, ("call", key))
         try:
-            for tag, result in scheduler.events():
-                self.points_computed += 1
-                if tag[0] == "call":
-                    key = tag[1]
-                    self._memo[key] = result
+            with self.trace.span("execute", round=round_no):
+                for tag, result in scheduler.events():
+                    self.points_computed += 1
+                    if tag[0] == "call":
+                        key = tag[1]
+                        self._memo[key] = result
+                        if self.cache is not None:
+                            self.cache.put_value(key, float(result))
+                        deliver(call_decls[key], result, "computed", key)
+                        continue
+                    i, part = tag
+                    if not books[i].deliver(part, result):
+                        continue
+                    estimate = merge_request_results(
+                        plan.requests[i], plan.methods[i], books[i].parts
+                    )
+                    estimates[i] = estimate
+                    self._memo[plan.keys[i]] = estimate
                     if self.cache is not None:
-                        self.cache.put_value(key, float(result))
-                    deliver(call_decls[key], result, "computed", key)
-                    continue
-                i, part = tag
-                if not books[i].deliver(part, result):
-                    continue
-                estimate = merge_request_results(
-                    plan.requests[i], plan.methods[i], books[i].parts
-                )
-                estimates[i] = estimate
-                self._memo[plan.keys[i]] = estimate
-                if self.cache is not None:
-                    self.cache.put_estimate(plan.keys[i], estimate)
-                deliver(point_decls.get(i, ()), estimate.mean, "computed", plan.keys[i])
+                        self.cache.put_estimate(plan.keys[i], estimate)
+                    deliver(
+                        point_decls.get(i, ()), estimate.mean, "computed", plan.keys[i]
+                    )
         except BaseException:
             # A failed job must not leak worker processes: shut the
             # executor down (cancelling queued pool work) on the way out.
@@ -564,6 +627,12 @@ class SimulationPipeline:
     def close(self) -> None:
         self.analytic_memo.flush()
         self.executor.close()
+        if self.trace.enabled and not self.trace.closed:
+            # The final metrics snapshot rides the trace, then the
+            # journal is sealed — `trace summary` cross-checks the
+            # snapshot against the per-event tallies.
+            self.trace.event("snapshot", metrics=self.metrics.snapshot())
+            self.trace.close()
 
     def __enter__(self) -> "SimulationPipeline":
         return self

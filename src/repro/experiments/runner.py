@@ -53,6 +53,9 @@ from ..sim.manifest import (
 from ..sim.montecarlo import FAST, METHODS, PAPER, Fidelity
 from ..sim.plan import ResultCache
 from ..sim.rng import DEFAULT_SEED
+from ..obs.metrics import MetricsRegistry
+from ..obs.stream import LineStream
+from ..obs.trace import TRACE_NAME, TraceWriter
 from .analytic import AnalyticMemo
 from .common import FigureResult, SimSettings
 from .pipeline import SimulationPipeline
@@ -69,12 +72,14 @@ _FIGURES = RUNNERS
 #: in EXPERIMENTS.md are legitimate and exempt from the drift check.
 _META_COMMANDS = {
     "all", "tables", "report", "index", "sweep", "merge", "cache", "scenario",
-    "resume",
+    "resume", "trace",
 }
 
 #: Meta commands EXPERIMENTS.md is required to document (the figure
 #: commands are always required; ``index`` documents itself).
-_DOCUMENTED_META = ("all", "tables", "sweep", "merge", "cache", "scenario", "resume")
+_DOCUMENTED_META = (
+    "all", "tables", "sweep", "merge", "cache", "scenario", "resume", "trace",
+)
 
 #: Default claim-board lease TTL (seconds) in work-stealing shard mode:
 #: long enough that no healthy shard's claim expires between scheduling
@@ -168,7 +173,38 @@ def _shard_args(args: argparse.Namespace) -> tuple[int, int] | None:
     return index, count
 
 
-def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
+def _trace_from_args(
+    args: argparse.Namespace, argv: Sequence[str]
+) -> TraceWriter | None:
+    """The :class:`TraceWriter` implied by ``--trace``/``--trace-file``.
+
+    ``--trace-file`` names the journal explicitly; bare ``--trace``
+    puts it next to the run's manifest (``<runs-dir>/<run-id>/``) when
+    the invocation is journaled, else directly under the runs
+    directory.  Returns ``None`` when tracing is off — the pipeline
+    then holds the null writer and the hot paths pay one flag check.
+    """
+    trace_file = getattr(args, "trace_file", None)
+    if not getattr(args, "trace", False) and trace_file is None:
+        return None
+    if trace_file is None:
+        runs_dir = getattr(args, "runs_dir", None) or DEFAULT_RUNS_DIR
+        run_id = getattr(args, "run_id", None)
+        base = Path(runs_dir) / run_id if run_id is not None else Path(runs_dir)
+        trace_file = base / TRACE_NAME
+    writer = TraceWriter(
+        trace_file,
+        argv=list(argv),
+        run_id=getattr(args, "run_id", None),
+        command=getattr(args, "command", None),
+    )
+    print(f"[trace] journaling events to {writer.path}", file=sys.stderr)
+    return writer
+
+
+def _pipeline_from_args(
+    args: argparse.Namespace, argv: Sequence[str] = ()
+) -> SimulationPipeline:
     """One shared pipeline (executor + caches) for a whole CLI invocation.
 
     ``--jobs`` defaults to ``--workers`` so a worker request keeps its
@@ -177,7 +213,11 @@ def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
     simulated point; with neither flag the pipeline runs serially.
     Shard flags wrap the executor in a
     :class:`~repro.sim.executors.ShardedExecutor` and point the result
-    cache at the shard output directory.
+    cache at the shard output directory.  Every pipeline carries one
+    :class:`~repro.obs.metrics.MetricsRegistry` and (with ``--trace``)
+    one :class:`~repro.obs.trace.TraceWriter` — the observability
+    spine the progress printer, dry-run report, resume summary and
+    manifest snapshot all read.
     """
     jobs = args.jobs if args.jobs is not None else args.workers
     jobs = 1 if jobs is None else jobs
@@ -191,6 +231,8 @@ def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
             fault = parse_fault_plan(fault_spec)
         except ReproError as exc:
             raise SystemExit(str(exc)) from None
+    trace = _trace_from_args(args, argv)
+    metrics = MetricsRegistry()
     shard = _shard_args(args)
     if shard is not None:
         if args.cache_dir is not None or args.no_cache:
@@ -218,11 +260,18 @@ def _pipeline_from_args(args: argparse.Namespace) -> SimulationPipeline:
             cache_dir=args.shard_dir,
             max_inflight=max_inflight,
             fault=fault,
+            trace=trace,
+            metrics=metrics,
         )
     else:
         cache_dir = None if args.no_cache else args.cache_dir
         pipeline = SimulationPipeline(
-            jobs=jobs, cache_dir=cache_dir, max_inflight=max_inflight, fault=fault
+            jobs=jobs,
+            cache_dir=cache_dir,
+            max_inflight=max_inflight,
+            fault=fault,
+            trace=trace,
+            metrics=metrics,
         )
     if fault is not None and pipeline.cache is not None:
         hurt = fault.corrupt_cache(pipeline.cache)
@@ -293,30 +342,38 @@ def _resolve_and_emit(
             collect.append((stage.ctx.spec.name, stage.finish()))
 
 
-def _progress_printer(staged: Sequence, stream=None) -> Callable:
+def _progress_printer(staged: Sequence, pipeline: SimulationPipeline,
+                      stream=None) -> Callable:
     """Per-study progress lines (stderr) as the scheduler resolves points.
+
+    The tallies come straight from the pipeline's metrics registry
+    (``points{study,status}`` — incremented before any ``on_event``
+    callback fires), so this printer re-counts nothing.  Lines go
+    through a :class:`~repro.obs.stream.LineStream`, whose single
+    locked write keeps concurrent callback output from tearing
+    mid-line.
 
     ``staged`` is read live on every event, not snapshotted: adaptive
     runs keep appending newly staged waves to it mid-round, and the
     denominator has to track them.  (For fixed runs the sequence never
     grows, so the recomputation changes nothing.)
     """
-    stream = stream if stream is not None else sys.stderr
-    tallies: dict[str, Counter] = defaultdict(Counter)
+    out = LineStream(stream if stream is not None else sys.stderr)
+    metrics = pipeline.metrics
 
     def on_event(event) -> None:
         totals: dict[str, int] = defaultdict(int)
         for stage in staged:
             totals[stage.group] += stage.n_pending
         group = event.group if event.group is not None else "?"
-        tally = tallies[group]
-        tally[event.status] += 1
-        done = sum(tally.values())
-        print(
+        label = event.group if event.group is not None else "(ungrouped)"
+        computed = metrics.value("points", study=label, status="computed")
+        served = metrics.value("points", study=label, status="served")
+        skipped = metrics.value("points", study=label, status="skipped")
+        done = computed + served + skipped
+        out.line(
             f"[progress] {group} {done}/{totals.get(group, done)} "
-            f"computed={tally['computed']} served={tally['served']} "
-            f"skipped={tally['skipped']}",
-            file=stream,
+            f"computed={computed} served={served} skipped={skipped}"
         )
 
     return on_event
@@ -368,10 +425,12 @@ def _recorder_from_args(
     runs_dir = getattr(args, "runs_dir", None) or DEFAULT_RUNS_DIR
     try:
         if not resume:
-            recorder = RunRecorder.create(runs_dir, run_id, argv)
+            recorder = RunRecorder.create(runs_dir, run_id, argv,
+                                          metrics=pipeline.metrics)
             print(f"[run] journaling to {recorder.path}", file=sys.stderr)
             return recorder
-        recorder = RunRecorder.resume(runs_dir, run_id, argv)
+        recorder = RunRecorder.resume(runs_dir, run_id, argv,
+                                      metrics=pipeline.metrics)
         if pre_validate is not None:
             pre_validate(recorder.manifest)
     except ReproError as exc:
@@ -379,16 +438,60 @@ def _recorder_from_args(
     report = validate_resume(
         recorder.manifest, pipeline.pending_keys(), pipeline.cache, argv
     )
+    for outcome in ("reusable", "invalidated", "missing", "stale"):
+        n = len(getattr(report, outcome))
+        if n:
+            pipeline.metrics.counter("resume_points", outcome=outcome).inc(n)
+    if pipeline.trace.enabled:
+        pipeline.trace.event(
+            "resume_validate",
+            reused=len(report.reusable),
+            invalidated=len(report.invalidated),
+            missing=len(report.missing),
+            stale=len(report.stale),
+        )
     for line in report.lines():
         print(line, file=sys.stderr)
     recorder.write()
     return recorder
 
 
+def _finish_recorder(
+    recorder: RunRecorder | None, pipeline: SimulationPipeline
+) -> None:
+    """Seal a run journal and print the resumed round's reuse summary.
+
+    The summary line reads the same registry counters the recorder
+    wrote (``resume_points{outcome}``), so the printed numbers cannot
+    drift from the journaled manifest.  Fresh (unresumed) runs stay
+    silent — their stderr is unchanged from the pre-metrics CLI.
+    """
+    if recorder is None:
+        return
+    recorder.finish()
+    manifest = recorder.manifest
+    if manifest.resumes:
+        invalidated = pipeline.metrics.value("resume_points", outcome="invalidated")
+        print(
+            f"[resume] round delivered: {manifest.reused} reused, "
+            f"{manifest.recomputed} recomputed, {invalidated} invalidated",
+            file=sys.stderr,
+        )
+
+
 def _print_dry_run(pipeline: SimulationPipeline, stream=None) -> None:
-    """Planned-work report of every staged study (``--dry-run``)."""
+    """Planned-work report of every staged study (``--dry-run``).
+
+    :meth:`~repro.experiments.pipeline.SimulationPipeline.pending_report`
+    populates the registry's ``plan{study,field}`` counters; this
+    printer renders them — the report dict and the registry are the
+    same numbers by construction.
+    """
     stream = stream or sys.stdout
-    report = pipeline.pending_report()
+    pipeline.pending_report()
+    report: dict[str, dict[str, int]] = {}
+    for labels, metric in pipeline.metrics.labeled("plan"):
+        report.setdefault(labels["study"], {})[labels["field"]] = metric.value
     totals: Counter = Counter()
     for name, entry in report.items():
         totals.update(entry)
@@ -511,6 +614,20 @@ def _add_sim_options(
         help="dev/test harness: inject deterministic faults, e.g. "
         "'crash-after=20', 'fail-job=3:2', 'kill-worker=5', "
         "'corrupt-entry=0' (comma-separated)",
+    )
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        help="journal every pipeline event (declares, plans, jobs, cache "
+        "traffic, point fates) as JSON Lines for `repro-experiments "
+        "trace`; table output is byte-identical with or without it",
+    )
+    sub.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="FILE",
+        help="trace journal path (default: <runs-dir>/<run-id>/trace.jsonl "
+        "for journaled runs, else <runs-dir>/trace.jsonl; implies --trace)",
     )
 
 
@@ -705,6 +822,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="SPEC",
         help="dev/test harness: inject faults into the resumed round",
     )
+    sub_resume.add_argument(
+        "--trace", action="store_true",
+        help="journal the resumed round's events for `repro-experiments trace`",
+    )
+    sub_resume.add_argument(
+        "--trace-file", default=None, metavar="FILE",
+        help="trace journal path of the resumed round (implies --trace)",
+    )
 
     sub_cache = subparsers.add_parser(
         "cache",
@@ -719,6 +844,15 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         c = cache_sub.add_parser(cache_cmd, help=cache_help)
         c.add_argument("--cache-dir", required=True, metavar="DIR")
+        if cache_cmd == "stats":
+            c.add_argument(
+                "--format",
+                choices=("text", "json"),
+                default="text",
+                help="output format: human-readable lines (text, default) or "
+                "one repro-metrics/1 JSON document (the manifest/trace "
+                "snapshot schema)",
+            )
         if cache_cmd == "verify":
             c.add_argument(
                 "--delete",
@@ -749,6 +883,56 @@ def build_parser() -> argparse.ArgumentParser:
                 help="delete without the interactive confirmation (required "
                 "when stdin is not a terminal; caches may be shared across "
                 "scenario runs and shards)",
+            )
+
+    sub_trace = subparsers.add_parser(
+        "trace",
+        help="analyze a --trace run journal: per-phase wall time, scheduler "
+        "occupancy, worker utilization, critical path "
+        "(summary | timeline | export)",
+    )
+    trace_sub = sub_trace.add_subparsers(dest="trace_command", required=True)
+    for trace_cmd, trace_help in (
+        ("summary", "fold the journal into per-phase/scheduler/study totals"),
+        ("timeline", "print the raw event stream with relative timestamps"),
+        ("export", "re-emit the validated events (jsonl or one JSON array)"),
+    ):
+        t = trace_sub.add_parser(trace_cmd, help=trace_help)
+        t.add_argument(
+            "target",
+            metavar="TRACE",
+            help="a trace.jsonl path, a directory containing one, or a "
+            "--runs-dir run id",
+        )
+        t.add_argument(
+            "--runs-dir",
+            default=None,
+            metavar="DIR",
+            help=f"directory holding run manifests (default {DEFAULT_RUNS_DIR})",
+        )
+        if trace_cmd == "summary":
+            t.add_argument(
+                "--format",
+                choices=("text", "json"),
+                default="text",
+                help="rendered report (text, default) or the "
+                "repro-trace-summary/1 JSON document",
+            )
+        if trace_cmd == "timeline":
+            t.add_argument(
+                "--limit",
+                type=int,
+                default=None,
+                metavar="N",
+                help="show only the first N events (default: all)",
+            )
+        if trace_cmd == "export":
+            t.add_argument(
+                "--format",
+                choices=("jsonl", "json"),
+                default="jsonl",
+                help="JSON Lines passthrough (jsonl, default) or one JSON "
+                "array document",
             )
 
     sub_scen = subparsers.add_parser(
@@ -890,12 +1074,11 @@ def _write_report(
     recorder = _recorder_from_args(args, argv, pipeline)
     on_event = _chain_events(
         recorder.on_event if recorder is not None else None,
-        _progress_printer(staged) if args.progress else None,
+        _progress_printer(staged, pipeline) if args.progress else None,
     )
     _resolve_and_emit(staged, pipeline, emitter=None, collect=collected,
                       on_event=on_event)
-    if recorder is not None:
-        recorder.finish()
+    _finish_recorder(recorder, pipeline)
     # Re-group per study (fig2 --all-platforms stages one study per
     # platform but the report keeps one section per figure).
     sections: list[tuple[str, list[FigureResult]]] = []
@@ -938,6 +1121,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
         stats = cache.stats()
+        memo = AnalyticMemo(Path(args.cache_dir) / "analytic_memo.json")
+        if getattr(args, "format", "text") == "json":
+            # The same repro-metrics/1 document shape the run manifest
+            # and trace snapshot use, so one loader reads all three.
+            registry = MetricsRegistry()
+            registry.gauge("cache_entries").set(stats["entries"])
+            registry.gauge("cache_bytes").set(stats["total_bytes"])
+            if stats["entries"]:
+                registry.gauge("cache_oldest_mtime").set(stats["oldest_mtime"])
+                registry.gauge("cache_newest_mtime").set(stats["newest_mtime"])
+            registry.gauge("analytic_entries").set(len(memo))
+            registry.counter("analytic", kind="served").inc(memo.served)
+            registry.counter("analytic", kind="lookups").inc(memo.lookups)
+            payload = registry.snapshot()
+            payload["directory"] = str(stats["directory"])
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+            return 0
         mib = stats["total_bytes"] / (1024 * 1024)
         print(
             f"[cache] {stats['entries']} entries, {mib:.2f} MiB "
@@ -949,7 +1150,6 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"[cache] oldest {_format_age(now - stats['oldest_mtime'])}, "
                 f"newest {_format_age(now - stats['newest_mtime'])}"
             )
-        memo = AnalyticMemo(Path(args.cache_dir) / "analytic_memo.json")
         print(
             f"[analytic] {len(memo)} memo entries, "
             f"{memo.served}/{memo.lookups} served "
@@ -1021,6 +1221,72 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     )
     mib = sum(e.size for e in removed) / (1024 * 1024)
     print(f"[prune] removed {len(removed)} entries ({mib:.2f} MiB), kept {len(kept)}")
+    return 0
+
+
+def _trace_target_path(target: str, runs_dir: str | None) -> Path:
+    """Resolve a ``trace`` operand: file path, run directory, or run id."""
+    path = Path(target)
+    if path.is_file():
+        return path
+    if path.is_dir():
+        candidate = path / TRACE_NAME
+        if candidate.is_file():
+            return candidate
+    base = Path(runs_dir) if runs_dir is not None else Path(DEFAULT_RUNS_DIR)
+    candidate = base / target / TRACE_NAME
+    if candidate.is_file():
+        return candidate
+    raise SystemExit(
+        f"no trace found for {target!r}: not a trace file, not a directory "
+        f"containing {TRACE_NAME}, and {candidate} does not exist (was the "
+        f"run started with --trace?)"
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..obs.trace import load_trace
+
+    path = _trace_target_path(args.target, args.runs_dir)
+    try:
+        events = load_trace(path)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        return _print_trace(args, events)
+    except BrokenPipeError:
+        # `trace export | head` is the intended usage; redirect stdout
+        # at the fd so the interpreter's exit-time flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _print_trace(args: argparse.Namespace, events: list[dict]) -> int:
+    from ..obs.report import render_summary_text, render_timeline, summarize
+
+    if args.trace_command == "summary":
+        summary = summarize(events)
+        if args.format == "json":
+            json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            for line in render_summary_text(summary):
+                print(line)
+        return 0
+    if args.trace_command == "timeline":
+        for line in render_timeline(events, limit=args.limit):
+            print(line)
+        return 0
+    # export: events passed schema validation in load_trace, so the
+    # output is a clean-room re-serialisation, not a byte copy.
+    if args.format == "json":
+        json.dump(events, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for event in events:
+            print(json.dumps(event, sort_keys=True, separators=(",", ":")))
     return 0
 
 
@@ -1158,7 +1424,7 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
     policy = _adaptive_policy_from_args(args, sset)
     settings = _settings_from_args(args)
     started = time.perf_counter()
-    with _pipeline_from_args(args) as pipeline:
+    with _pipeline_from_args(args, argv) as pipeline:
         run = None
         try:
             # Staging builds every member's perturbed models; a jitter
@@ -1210,12 +1476,12 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
             )
         on_event = _chain_events(
             recorder.on_event if recorder is not None else None,
-            _progress_printer(staged) if args.progress else None,
+            _progress_printer(staged, pipeline) if args.progress else None,
             run.on_event if run is not None else None,
         )
         on_round = run.on_round if run is not None else None
         if args.scenario_command == "report":
-            emitter = BandedEmitter(csv_dir=args.csv)
+            emitter = BandedEmitter(csv_dir=args.csv, trace=pipeline.trace)
             _resolve_and_emit(
                 families, pipeline, emitter=emitter, on_event=on_event,
                 on_round=on_round,
@@ -1237,8 +1503,7 @@ def _cmd_scenario(args: argparse.Namespace, argv: Sequence[str] = ()) -> int:
                 f"member result files -> {path.parent}",
                 file=sys.stderr,
             )
-        if recorder is not None:
-            recorder.finish()
+        _finish_recorder(recorder, pipeline)
         if pipeline.cache is not None:
             hits, misses = pipeline.cache_stats
             print(
@@ -1290,6 +1555,10 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         replay.append("--progress")
     if args.fault_plan is not None:
         replay += ["--fault-plan", args.fault_plan]
+    if args.trace and "--trace" not in replay:
+        replay.append("--trace")
+    if args.trace_file is not None:
+        replay += ["--trace-file", args.trace_file]
     print(f"[resume] replaying: {' '.join(replay)}", file=sys.stderr)
     return main(replay)
 
@@ -1322,6 +1591,8 @@ def _dispatch(args: argparse.Namespace, argv: list[str]) -> int:
         return _cmd_cache(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "scenario":
         return _cmd_scenario(args, argv)
 
@@ -1346,7 +1617,7 @@ def _dispatch(args: argparse.Namespace, argv: list[str]) -> int:
             "report cannot run sharded: merge the shard caches first, then "
             "run `report --cache-dir <merged>`"
         )
-    with _pipeline_from_args(args) as pipeline:
+    with _pipeline_from_args(args, argv) as pipeline:
         if args.dry_run:
             _stage_specs(specs, args, pipeline)
             _print_dry_run(pipeline)
@@ -1356,14 +1627,17 @@ def _dispatch(args: argparse.Namespace, argv: list[str]) -> int:
         else:
             staged = _stage_specs(specs, args, pipeline)
             recorder = _recorder_from_args(args, argv, pipeline)
-            emitter = None if sharded else StreamingEmitter(csv_dir=args.csv)
+            emitter = (
+                None
+                if sharded
+                else StreamingEmitter(csv_dir=args.csv, trace=pipeline.trace)
+            )
             on_event = _chain_events(
                 recorder.on_event if recorder is not None else None,
-                _progress_printer(staged) if args.progress else None,
+                _progress_printer(staged, pipeline) if args.progress else None,
             )
             _resolve_and_emit(staged, pipeline, emitter=emitter, on_event=on_event)
-            if recorder is not None:
-                recorder.finish()
+            _finish_recorder(recorder, pipeline)
         if sharded:
             index, count = _shard_args(args)
             print(

@@ -362,6 +362,16 @@ class AdaptiveRun:
             }
         )
         self._journal(family)
+        trace = self.pipeline.trace
+        if trace.enabled:
+            trace.event(
+                "wave_stage",
+                family=family.label,
+                wave=wave.index,
+                start=start,
+                stop=stop,
+                rows=len(rows) if rows is not None else None,
+            )
         if self.progress:
             covered = (
                 f"{len(rows)} rows" if rows is not None else "full grid"
@@ -480,6 +490,7 @@ class AdaptiveRun:
         never re-derives a journaled decision.
         """
         policy = self.policy
+        already_converged = len(family.converged)
         covered = wave.rows if wave.rows is not None else range(family.n_rows)
         for r in covered:
             if r in family.converged:
@@ -497,6 +508,23 @@ class AdaptiveRun:
                 family.streaks[r] = 0
         self._journal(family)
         active = family.active_rows(wave.index)
+        newly_converged = len(family.converged) - already_converged
+        if newly_converged:
+            self.pipeline.metrics.counter(
+                "adaptive_rows_converged",
+                family=family.label,
+                wave=str(wave.index),
+            ).inc(newly_converged)
+        trace = self.pipeline.trace
+        if trace.enabled:
+            trace.event(
+                "wave_converge",
+                family=family.label,
+                wave=wave.index,
+                converged=len(family.converged),
+                active=len(active),
+                rows_converged=newly_converged,
+            )
         if self.progress:
             print(
                 f"[adaptive] {family.label}: wave {wave.index} folded — "

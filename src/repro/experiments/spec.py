@@ -472,7 +472,9 @@ def stage_study(
     previous_group = pipeline.current_group
     pipeline.current_group = label
     try:
-        state = declare(ctx)
+        with pipeline.trace.span("declare", study=label, platform=ctx.platform) as span:
+            state = declare(ctx)
+            span["points"] = pipeline.pending_points - before
     finally:
         pipeline.current_group = previous_group
     return StagedStudy(

@@ -34,4 +34,4 @@ class BandedEmitter(StreamingEmitter):
         if label:
             print(f"== {label} ==", file=self.stream)
             print(file=self.stream)
-        self.emit_results(staged.finish())
+        super()._emit_one(staged)

@@ -24,6 +24,8 @@ import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
+from ..obs.trace import NULL_TRACE
+
 __all__ = ["StreamingEmitter"]
 
 
@@ -35,11 +37,13 @@ class StreamingEmitter:
     :class:`~repro.experiments.spec.StagedStudy` contract).
     :meth:`pump` flushes the queue head-first so output order always
     matches registration order, whatever order the values resolved in.
+    ``trace`` journals one ``emit`` event per flushed study.
     """
 
-    def __init__(self, stream=None, csv_dir: str | Path | None = None):
+    def __init__(self, stream=None, csv_dir: str | Path | None = None, trace=None):
         self.stream = stream if stream is not None else sys.stdout
         self.csv_dir = csv_dir
+        self.trace = trace if trace is not None else NULL_TRACE
         self._queue: list = []
         self.emitted = 0
 
@@ -60,7 +64,15 @@ class StreamingEmitter:
 
     def _emit_one(self, staged) -> None:
         """Flush one queue entry (subclass hook: banners, extra output)."""
-        self.emit_results(staged.finish())
+        results = staged.finish()
+        if self.trace.enabled:
+            label = getattr(staged, "group", None) or getattr(staged, "label", None)
+            self.trace.event(
+                "emit",
+                study=label if label else "?",
+                tables=len(results),
+            )
+        self.emit_results(results)
 
     def pump(self) -> int:
         """Emit every leading queued study whose values have resolved.

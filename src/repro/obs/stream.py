@@ -1,0 +1,33 @@
+"""Torn-line-free progress output: whole-line writes under one lock.
+
+``print(f"...", file=stream)`` issues *two* stream writes (the text,
+then the newline), and under ``--jobs`` the worker processes inherit
+the same stderr pipe — a worker's ``[fault]`` diagnostic landing
+between those two writes tears the progress line in half.  The
+:class:`LineStream` wrapper closes both gaps: each line is formatted
+up front and pushed in a **single** ``write()`` call (atomic on a
+pipe for sane line lengths), and an internal lock serialises callers
+within the process, so interleaved output can only ever happen *at*
+line boundaries.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+__all__ = ["LineStream"]
+
+
+class LineStream:
+    """Serialise whole-line writes to an underlying text stream."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def line(self, text: str) -> None:
+        """Write ``text`` plus newline as one locked, flushed write."""
+        with self._lock:
+            self.stream.write(text + "\n")
+            self.stream.flush()

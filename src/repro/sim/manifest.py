@@ -82,6 +82,8 @@ _EXECUTION_FLAGS = {
     "--resume": 0,
     "--fault-plan": 1,
     "--claim-ttl": 1,
+    "--trace": 0,
+    "--trace-file": 1,
 }
 
 
@@ -141,6 +143,10 @@ class RunManifest:
     #: decision, so a resume replays them verbatim instead of
     #: re-deriving convergence.  Empty for fixed-replicate runs.
     adaptive: dict = field(default_factory=dict)
+    #: Metrics-registry snapshot (``repro-metrics/1``) taken when the
+    #: run finished — what ``resume`` diffs its own round against.
+    #: Empty until a recorder with a registry finishes.
+    metrics: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.config:
@@ -165,10 +171,13 @@ class RunManifest:
             "recomputed": self.recomputed,
             "fates": self.fates,
         }
-        # Only adaptive runs carry the journal; fixed-replicate
-        # manifests keep their historical shape byte-for-byte.
+        # Only adaptive runs carry the journal, and only finished runs
+        # carry a metrics snapshot; manifests written before those
+        # features keep their historical shape byte-for-byte.
         if self.adaptive:
             out["adaptive"] = self.adaptive
+        if self.metrics:
+            out["metrics"] = self.metrics
         return out
 
     @classmethod
@@ -189,6 +198,7 @@ class RunManifest:
             reused=data.get("reused", 0),
             recomputed=data.get("recomputed", 0),
             adaptive=dict(data.get("adaptive", {})),
+            metrics=dict(data.get("metrics", {})),
         )
 
     @classmethod
@@ -214,9 +224,16 @@ class RunRecorder:
     the delivered prefix.
     """
 
-    def __init__(self, path: str | Path, manifest: RunManifest):
+    def __init__(self, path: str | Path, manifest: RunManifest, metrics=None):
         self.path = Path(path)
         self.manifest = manifest
+        #: The invocation's metrics registry: the reused/recomputed
+        #: counters live here (``resume_points{outcome}``); the
+        #: manifest ints mirror them so the journal stays readable
+        #: without the registry, and :meth:`finish` snapshots the
+        #: whole registry into the manifest.  ``None`` keeps the
+        #: registry-free historical behaviour (library callers).
+        self.metrics = metrics
         #: Fates journaled by previous (interrupted) rounds — the
         #: baseline the reused/recomputed accounting compares against.
         self._prior = dict(manifest.fates)
@@ -227,7 +244,11 @@ class RunRecorder:
 
     @classmethod
     def create(
-        cls, runs_dir: str | Path, run_id: str, argv: list[str] | tuple[str, ...]
+        cls,
+        runs_dir: str | Path,
+        run_id: str,
+        argv: list[str] | tuple[str, ...],
+        metrics=None,
     ) -> "RunRecorder":
         """Start a fresh run journal; refuses to clobber an existing one."""
         path = manifest_path(runs_dir, run_id)
@@ -237,11 +258,15 @@ class RunRecorder:
                 f"resume it (`repro-experiments resume {run_id}` or --resume), "
                 f"or pick a new --run-id"
             )
-        return cls(path, RunManifest(run_id=run_id, argv=tuple(argv)))
+        return cls(path, RunManifest(run_id=run_id, argv=tuple(argv)), metrics=metrics)
 
     @classmethod
     def resume(
-        cls, runs_dir: str | Path, run_id: str, argv: list[str] | tuple[str, ...]
+        cls,
+        runs_dir: str | Path,
+        run_id: str,
+        argv: list[str] | tuple[str, ...],
+        metrics=None,
     ) -> "RunRecorder":
         """Reopen an existing run journal for a resumed round."""
         path = manifest_path(runs_dir, run_id)
@@ -254,9 +279,14 @@ class RunRecorder:
         # the resumed argv may override execution flags only, which the
         # hash ignores — a result-relevant drift shows up in validate.
         manifest.argv = tuple(argv)
-        return cls(path, manifest)
+        return cls(path, manifest, metrics=metrics)
 
     # -- journaling --------------------------------------------------------
+
+    def _count(self, outcome: str) -> None:
+        """Mirror one reused/recomputed tick into the metrics registry."""
+        if self.metrics is not None:
+            self.metrics.counter("resume_points", outcome=outcome).inc()
 
     def on_event(self, event) -> None:
         """Record one delivered point fate (events without keys pass)."""
@@ -269,8 +299,10 @@ class RunRecorder:
         if event.status == "computed" and prior == "computed":
             # The acceptance smell: work a previous round already did.
             self.manifest.recomputed += 1
+            self._count("recomputed")
         elif event.status == "served" and prior in ("computed", "served"):
             self.manifest.reused += 1
+            self._count("reused")
         if first or event.status == "computed":
             self.write()
 
@@ -286,6 +318,8 @@ class RunRecorder:
         self.write()
 
     def finish(self, status: str = "complete") -> None:
+        if self.metrics is not None and len(self.metrics):
+            self.manifest.metrics = self.metrics.snapshot()
         self.manifest.status = status
         self.write()
 

@@ -491,6 +491,28 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        # Observability hooks (see bind_obs): None until a pipeline
+        # attaches its trace writer and metrics registry.
+        self.trace = None
+        self.metrics = None
+
+    def bind_obs(self, trace, metrics) -> None:
+        """Attach a run's trace writer / metrics registry to this cache.
+
+        The cache predates the obs layer and is constructed in many
+        contexts that have neither (tests, `cache` subcommands, shard
+        merges), so the hooks arrive by late binding instead of
+        constructor arguments.
+        """
+        self.trace = trace
+        self.metrics = metrics
+
+    def _note(self, event: str, key: str, **fields) -> None:
+        """One cache access, into the metrics registry and the trace."""
+        if self.metrics is not None:
+            self.metrics.counter("cache", event=event).inc()
+        if self.trace is not None and self.trace.enabled:
+            self.trace.event(f"cache_{event}", key=key, **fields)
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.npz"
@@ -591,8 +613,10 @@ class ResultCache:
         data = self._load(key, "estimate")
         if data is None:
             self.misses += 1
+            self._note("miss", key)
             return None
         self.hits += 1
+        self._note("hit", key)
         return OverheadEstimate(
             mean=float(data["mean"]),
             std=float(data["std"]),
@@ -603,6 +627,7 @@ class ResultCache:
         )
 
     def put_estimate(self, key: str, estimate: OverheadEstimate) -> None:
+        self._note("store", key, kind="estimate")
         self._store(
             key,
             kind="estimate",
@@ -620,11 +645,14 @@ class ResultCache:
         data = self._load(key, "value")
         if data is None:
             self.misses += 1
+            self._note("miss", key)
             return None
         self.hits += 1
+        self._note("hit", key)
         return float(data["value"])
 
     def put_value(self, key: str, value: float) -> None:
+        self._note("store", key, kind="value")
         self._store(key, kind="value", value=float(value))
 
     # -- introspection and garbage collection ------------------------------

@@ -41,12 +41,14 @@ inline and the event stream degenerates to exact submission order —
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from ..exceptions import SimulationError
+from ..obs.trace import NULL_TRACE
 from .plan import run_job
 
 __all__ = [
@@ -56,6 +58,44 @@ __all__ = [
     "default_inflight",
     "DEFAULT_WINDOW_FACTOR",
 ]
+
+
+def _tag_str(tag) -> str:
+    """A tag's stable trace label (``"3.1"`` / ``"call:ab12cd34"``)."""
+    if isinstance(tag, tuple):
+        if tag and tag[0] == "call":
+            return f"call:{str(tag[1])[:8]}"
+        return ".".join(str(part) for part in tag)
+    return str(tag)
+
+
+class _TimedResult:
+    """A job result wrapped with its wall time and worker identity."""
+
+    __slots__ = ("value", "seconds", "pid")
+
+    def __init__(self, value, seconds: float, pid: int):
+        self.value = value
+        self.seconds = seconds
+        self.pid = pid
+
+    def __getstate__(self):
+        return (self.value, self.seconds, self.pid)
+
+    def __setstate__(self, state):
+        self.value, self.seconds, self.pid = state
+
+
+def _timed_call(job: tuple) -> _TimedResult:
+    """Run one job, capturing wall time and the executing process.
+
+    The timing envelope rides the job *into* the worker (module-level,
+    so it pickles) and back out — the scheduler unwraps it before
+    yielding, so consumers and caches see the identical raw result.
+    """
+    started = time.perf_counter()
+    value = run_job(job)
+    return _TimedResult(value, time.perf_counter() - started, os.getpid())
 
 #: Default in-flight window per pool worker: deep enough to hide the
 #: submit/collect round-trip, shallow enough that a cancelled run
@@ -143,6 +183,8 @@ class Scheduler:
         max_inflight: int | None = None,
         retry: RetryPolicy | None = RetryPolicy(),
         fault=None,
+        trace=None,
+        metrics=None,
     ):
         if max_inflight is None:
             max_inflight = default_inflight(executor.workers)
@@ -152,6 +194,8 @@ class Scheduler:
         self.max_inflight = int(max_inflight)
         self.retry = retry
         self.fault = fault
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.metrics = metrics
         self._queue: deque[_Entry] = deque()
         self._inflight: dict = {}  # JobFuture -> _Entry
         #: Transient-failure resubmissions performed (observability).
@@ -177,8 +221,19 @@ class Scheduler:
         job = entry.job
         if self.fault is not None:
             job = self.fault.wrap_job(job, entry.tag, entry.attempts)
+        if self.trace.enabled:
+            # The timing envelope only rides when tracing asked for it —
+            # the untraced submit path is byte-for-byte the historical one.
+            self.trace.event(
+                "job_submit", job=_tag_str(entry.tag), attempt=entry.attempts
+            )
+            job = (_timed_call, (job,), {})
         future = self.executor.submit(run_job, job, tag=entry.tag)
         self._inflight[future] = entry
+        if self.metrics is not None:
+            self.metrics.gauge("scheduler_inflight_highwater").update_max(
+                len(self._inflight)
+            )
 
     def events(self) -> Iterator[tuple]:
         """Submit with a bounded window; yield ``(tag, result)`` events.
@@ -190,6 +245,13 @@ class Scheduler:
         is abandoned); the caller is responsible for closing the
         executor, which cancels whatever was still queued on the pool.
         """
+        if self._queue and self.trace.enabled:
+            self.trace.event(
+                "schedule",
+                jobs=len(self._queue),
+                max_inflight=self.max_inflight,
+                workers=self.executor.workers,
+            )
         while self._queue or self._inflight:
             while self._queue and len(self._inflight) < self.max_inflight:
                 self._submit(self._queue.popleft())
@@ -208,6 +270,15 @@ class Scheduler:
                 if entry.attempts <= self.retry.attempts:
                     # Bounded resubmission with exponential backoff.
                     self.retries += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("scheduler_retries").inc()
+                    if self.trace.enabled:
+                        self.trace.event(
+                            "job_retry",
+                            job=_tag_str(entry.tag),
+                            attempt=entry.attempts,
+                            error=type(error).__name__,
+                        )
                     self.retry.sleep(self.retry.delay(entry.attempts))
                     self._queue.appendleft(entry)
                     continue
@@ -216,7 +287,31 @@ class Scheduler:
                 # an inline success is the identical result; an inline
                 # failure propagates (nothing left to try).
                 self.inline_fallbacks += 1
+                if self.metrics is not None:
+                    self.metrics.counter("scheduler_inline_fallbacks").inc()
+                started = time.perf_counter()
                 result = run_job(entry.job)
+                if self.trace.enabled:
+                    self.trace.event(
+                        "job_inline",
+                        job=_tag_str(entry.tag),
+                        dur=round(time.perf_counter() - started, 6),
+                    )
+            if isinstance(result, _TimedResult):
+                if self.trace.enabled:
+                    self.trace.event(
+                        "job_complete",
+                        job=_tag_str(entry.tag),
+                        dur=round(result.seconds, 6),
+                        worker=result.pid,
+                    )
+                if self.metrics is not None:
+                    self.metrics.histogram(
+                        "scheduler_job_seconds", worker=str(result.pid)
+                    ).observe(result.seconds)
+                result = result.value
+            if self.metrics is not None:
+                self.metrics.counter("scheduler_jobs").inc()
             yield entry.tag, result
             if self.fault is not None:
                 self.fault.on_completion()

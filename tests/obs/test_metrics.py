@@ -1,0 +1,107 @@
+"""The metrics registry: kinds, labels, snapshot stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.metrics import METRICS_SCHEMA, Histogram, MetricsRegistry
+
+
+class TestKinds:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("points").inc()
+        reg.counter("points").inc(3)
+        assert reg.value("points") == 4
+
+    def test_gauge_set_and_high_water(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("inflight")
+        gauge.set(3)
+        gauge.update_max(7)
+        gauge.update_max(2)  # below the high-water mark: ignored
+        assert reg.value("inflight") == 7
+
+    def test_histogram_summary_stats(self):
+        hist = Histogram()
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min == 2.0
+        assert hist.max == 6.0
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.to_value()["total"] == pytest.approx(12.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ReproError, match="already registered as counter"):
+            reg.gauge("x")
+
+
+class TestLabels:
+    def test_same_labels_same_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("points", study="fig5", status="computed").inc()
+        reg.counter("points", status="computed", study="fig5").inc()
+        assert reg.value("points", study="fig5", status="computed") == 2
+
+    def test_different_labels_different_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("points", status="computed").inc()
+        reg.counter("points", status="served").inc(2)
+        assert reg.value("points", status="computed") == 1
+        assert reg.value("points", status="served") == 2
+
+    def test_value_defaults_to_zero(self):
+        assert MetricsRegistry().value("never", anywhere="x") == 0
+
+    def test_labeled_preserves_insertion_order(self):
+        reg = MetricsRegistry()
+        for study in ("fig5", "fig2", "fig6"):
+            reg.counter("plan", study=study).inc()
+        assert [labels["study"] for labels, _ in reg.labeled("plan")] == [
+            "fig5", "fig2", "fig6",
+        ]
+
+    def test_clear_drops_only_that_name(self):
+        reg = MetricsRegistry()
+        reg.counter("plan", study="a").inc()
+        reg.counter("points", study="a").inc()
+        reg.clear("plan")
+        assert reg.labeled("plan") == []
+        assert reg.value("points", study="a") == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z_last", status="x").inc()
+        reg.counter("a_first").inc(2)
+        reg.gauge("mid").set(5)
+        snap = reg.snapshot()
+        assert snap["schema"] == METRICS_SCHEMA
+        names = [row["name"] for row in snap["metrics"]]
+        assert names == sorted(names)
+        # Round-trips through JSON without loss.
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_independent_of_insertion_order(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("a").inc()
+        one.gauge("b", k="v").set(3)
+        two.gauge("b", k="v").set(3)
+        two.counter("a").inc()
+        assert one.snapshot() == two.snapshot()
+
+    def test_len_counts_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.counter("a", l="1")
+        assert len(reg) == 2
